@@ -1,0 +1,93 @@
+"""Aggregate benchmarks/results/*.json into the EXPERIMENTS.md headline table.
+
+Not a test — run after a full benchmark pass:
+
+    python benchmarks/summarize.py
+"""
+
+import json
+import math
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def geomean(values):
+    values = [v for v in values if v and v > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def load(name):
+    path = RESULTS / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def main():
+    rows = []
+
+    for gpu, paper in (("V100", 1.83), ("P100", 1.68), ("TitanX", 1.71)):
+        data = load(f"fig5_{gpu}")
+        if data:
+            measured = geomean([v["vs_library"] for v in data.values()])
+            rows.append((f"Fig 5: avg vs library, {gpu}", f"{paper:.2f}x", f"{measured:.2f}x"))
+
+    data = load("fig6a")
+    if data:
+        measured = geomean([r["flextensor"] / r["cudnn"] for r in data])
+        rows.append(("Fig 6a: C2D vs cuDNN, V100", "~1.5x", f"{measured:.2f}x"))
+        c4 = next(r for r in data if r["layer"] == "C4")
+        c6 = next(r for r in data if r["layer"] == "C6")
+        rows.append(("Fig 6a: Winograd crossover C4/C6", "cuDNN wins",
+                     f"{c4['flextensor']/c4['cudnn']:.2f}/{c6['flextensor']/c6['cudnn']:.2f}"))
+
+    data = load("fig6b")
+    if data:
+        measured = geomean([r["flextensor"] / r["mkldnn"] for r in data])
+        rows.append(("Fig 6b: C2D vs MKL-DNN, Xeon", "1.72x", f"{measured:.2f}x"))
+
+    data = load("fig6c")
+    if data:
+        measured = geomean([r["flextensor"] / r["hand_optimized"] for r in data])
+        rows.append(("Fig 6c: C2D vs hand OpenCL, VU9P", "1.5x", f"{measured:.2f}x"))
+
+    data = load("fig6d")
+    if data:
+        q_p = geomean([r["q_s"] / r["p_s"] for r in data])
+        q_at = geomean([r["q_s"] / r["autotvm_s"] for r in data])
+        rows.append(("Fig 6d: Q time / P time", "27.6%", f"{q_p * 100:.0f}%"))
+        rows.append(("Fig 6d: Q time / AutoTVM time", "52.9%", f"{q_at * 100:.0f}%"))
+
+    data = load("sec64")
+    if data:
+        bcm = geomean([r["speedup"] for r in data if r["operator"] == "BCM"])
+        sho = geomean([r["speedup"] for r in data if r["operator"] == "SHO"])
+        rows.append(("§6.4: BCM vs hand-tuned, V100", "2.11x", f"{bcm:.2f}x"))
+        rows.append(("§6.4: SHO vs hand-tuned, TitanX", "1.53x", f"{sho:.2f}x"))
+
+    data = load("sec65")
+    if data:
+        rows.append(("§6.5: avg vs AutoTVM", "2.21x", f"{geomean(list(data['per_op'].values())):.2f}x"))
+        rows.append(("§6.5: C2D space vs template", "2027x", f"{data['space_ratio']:.0f}x"))
+        rows.append(("§6.5: T2D vs AutoTVM (the paper's loss)", "0.95x",
+                     f"{data['per_op']['T2D']:.2f}x"))
+
+    data = load("sec66")
+    if data:
+        rows.append(("§6.6: YOLO-v1 end-to-end vs AutoTVM", "1.07x",
+                     f"{data['YOLO-v1']['speedup']:.2f}x"))
+        rows.append(("§6.6: OverFeat end-to-end vs AutoTVM", "1.39x",
+                     f"{data['OverFeat']['speedup']:.2f}x"))
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'claim'.ljust(width)}  paper    measured")
+    print("-" * (width + 20))
+    for claim, paper, measured in rows:
+        print(f"{claim.ljust(width)}  {paper:<8} {measured}")
+
+
+if __name__ == "__main__":
+    main()

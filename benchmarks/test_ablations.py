@@ -1,0 +1,126 @@
+"""Ablations of FlexTensor's design choices (DESIGN.md's ablation list).
+
+Not a paper artifact — these benches justify the design decisions the
+paper makes implicitly:
+
+* Q-learning direction choice vs trying all directions (P) vs random
+  walk vs flat random sampling (i.e. without the §4.2 rearrangement);
+* the simulated-annealing starting-point temperature γ;
+* the Q-network training period.
+"""
+
+from conftest import geomean, once, print_table, save_results
+
+from repro.explore import (
+    FlexTensorTuner,
+    PMethodTuner,
+    RandomSampleTuner,
+    RandomWalkTuner,
+)
+from repro.model import V100
+from repro.ops import SUITES
+from repro.runtime import Evaluator
+
+LAYERS = [2, 8, 13]
+SEEDS = [0, 1, 2]
+
+
+def _run(tuner_factory, out, seed, trials):
+    evaluator = Evaluator(out, V100)
+    tuner = tuner_factory(evaluator, seed)
+    result = tuner.tune(trials, num_seeds=8)
+    return result
+
+
+def run_method_ablation():
+    """Same measurement budget (~650 points) for every method."""
+    factories = {
+        "q-method": (lambda ev, s: FlexTensorTuner(ev, seed=s), 40),
+        "random-walk": (lambda ev, s: RandomWalkTuner(ev, seed=s), 160),
+        "random-sample": (lambda ev, s: RandomSampleTuner(ev, seed=s), 160),
+        "p-method": (lambda ev, s: PMethodTuner(ev, seed=s), 5),
+    }
+    table = {}
+    for name, (factory, trials) in factories.items():
+        perfs, measures = [], []
+        for layer in LAYERS:
+            out = SUITES["C2D"][layer - 1].build()
+            for seed in SEEDS:
+                result = _run(factory, out, seed, trials)
+                perfs.append(result.best_performance)
+                measures.append(result.num_measurements)
+        table[name] = {
+            "geomean_gflops": geomean(perfs),
+            "mean_measurements": sum(measures) / len(measures),
+        }
+    return table
+
+
+def test_method_ablation(benchmark):
+    table = once(benchmark, run_method_ablation)
+    print_table(
+        "Ablation — exploration method at comparable budgets",
+        ["method", "geomean GFLOPS", "avg measurements"],
+        [
+            [name, f"{row['geomean_gflops']:.0f}", f"{row['mean_measurements']:.0f}"]
+            for name, row in table.items()
+        ],
+    )
+    save_results("ablation_methods", table)
+
+    # Guided neighborhood search beats unguided baselines at equal budget.
+    assert table["q-method"]["geomean_gflops"] > table["random-sample"]["geomean_gflops"]
+    assert table["q-method"]["geomean_gflops"] > 0.9 * table["random-walk"]["geomean_gflops"]
+
+
+def run_gamma_ablation():
+    out = SUITES["C2D"][7].build()
+    table = {}
+    for gamma in (0.5, 2.0, 8.0):
+        perfs = []
+        for seed in SEEDS:
+            evaluator = Evaluator(out, V100)
+            result = FlexTensorTuner(evaluator, gamma=gamma, seed=seed).tune(40, num_seeds=8)
+            perfs.append(result.best_performance)
+        table[gamma] = geomean(perfs)
+    return table
+
+
+def test_gamma_sensitivity(benchmark):
+    table = once(benchmark, run_gamma_ablation)
+    print_table(
+        "Ablation — SA temperature γ (C8)",
+        ["gamma", "geomean GFLOPS"],
+        [[g, f"{p:.0f}"] for g, p in table.items()],
+    )
+    save_results("ablation_gamma", {str(k): v for k, v in table.items()})
+    # All temperatures find something reasonable; the spread is bounded.
+    values = list(table.values())
+    assert min(values) > 0
+    assert max(values) / min(values) < 2.0
+
+
+def run_training_period_ablation():
+    out = SUITES["C2D"][7].build()
+    table = {}
+    for period in (1, 5, 20):
+        perfs = []
+        for seed in SEEDS:
+            evaluator = Evaluator(out, V100)
+            tuner = FlexTensorTuner(evaluator, train_period=period, seed=seed)
+            perfs.append(tuner.tune(40, num_seeds=8).best_performance)
+        table[period] = geomean(perfs)
+    return table
+
+
+def test_training_period_sensitivity(benchmark):
+    table = once(benchmark, run_training_period_ablation)
+    print_table(
+        "Ablation — Q-network training period (paper uses 5)",
+        ["train period", "geomean GFLOPS"],
+        [[p, f"{v:.0f}"] for p, v in table.items()],
+    )
+    save_results("ablation_train_period", {str(k): v for k, v in table.items()})
+    values = list(table.values())
+    assert min(values) > 0
+    assert max(values) / min(values) < 2.0

@@ -1,0 +1,78 @@
+"""Figure 5: normalized performance of PyTorch / library / FlexTensor for
+all 12 operators on V100, P100 and Titan X.
+
+Expected shape (paper): FlexTensor outperforms the libraries for most
+operators (average ~1.7-1.8x over cuDNN on V100), loses or ties on the
+transposed convolutions T2D/T3D (cuDNN's implicit-GEMM gradient kernels),
+and wins big on the poorly supported GRP / DEP / DIL operators.
+"""
+
+import pytest
+from conftest import geomean, once, print_table, save_results
+
+from repro import optimize
+from repro.baselines import gpu_library_time, pytorch_gpu_time
+from repro.model import P100, TITAN_X, V100
+from repro.ops import OPERATOR_NAMES, SUITES
+
+#: Cases per operator (bounded for benchmark runtime; the paper runs all).
+CASES_PER_OP = 3
+TRIALS = 50
+
+GPUS = {"V100": V100, "P100": P100, "TitanX": TITAN_X}
+
+
+def run_gpu(spec):
+    per_op = {}
+    for opname in OPERATOR_NAMES:
+        ratios_lib, ratios_torch = [], []
+        for workload in SUITES[opname][:CASES_PER_OP]:
+            out = workload.build()
+            flex = optimize(out, spec, trials=TRIALS, num_seeds=8, seed=0)
+            lib = gpu_library_time(workload, spec)
+            torch = pytorch_gpu_time(workload, spec)
+            ratios_lib.append(flex.gflops / lib.gflops)
+            ratios_torch.append(flex.gflops / torch.gflops)
+        per_op[opname] = {
+            "vs_library": geomean(ratios_lib),
+            "vs_pytorch": geomean(ratios_torch),
+        }
+    return per_op
+
+
+@pytest.mark.parametrize("gpu_name", list(GPUS))
+def test_fig5(benchmark, gpu_name):
+    spec = GPUS[gpu_name]
+    per_op = once(benchmark, lambda: run_gpu(spec))
+    rows = [
+        [op, f"{per_op[op]['vs_library']:.2f}", f"{per_op[op]['vs_pytorch']:.2f}"]
+        for op in OPERATOR_NAMES
+    ]
+    overall_lib = geomean([per_op[op]["vs_library"] for op in OPERATOR_NAMES])
+    overall_torch = geomean([per_op[op]["vs_pytorch"] for op in OPERATOR_NAMES])
+    rows.append(["GEOMEAN", f"{overall_lib:.2f}", f"{overall_torch:.2f}"])
+    print_table(
+        f"Figure 5 — FlexTensor speedup on {gpu_name} (vs library, vs PyTorch)",
+        ["op", "flex/library", "flex/pytorch"],
+        rows,
+    )
+    save_results(f"fig5_{gpu_name}", per_op)
+
+    # FlexTensor beats the vendor libraries on average (paper: 1.83x/1.68x/
+    # 1.71x across the three GPUs; our band is intentionally loose).
+    assert 1.2 < overall_lib < 3.5, overall_lib
+    # PyTorch native is weaker than the tuned libraries, so this margin is
+    # larger.
+    assert overall_torch > overall_lib
+
+    # Per-operator shape: most ops win...
+    wins = sum(1 for op in OPERATOR_NAMES if per_op[op]["vs_library"] > 1.0)
+    assert wins >= 8, {op: round(per_op[op]["vs_library"], 2) for op in OPERATOR_NAMES}
+    # ...the transposed 2D/3D convolutions do not beat cuDNN's algorithmic
+    # advantage (the paper's stated exceptions)...
+    assert per_op["T2D"]["vs_library"] < 1.1
+    assert per_op["T3D"]["vs_library"] < 1.0
+    # ...and the poorly supported operators win big (paper: GRP/DIL up to
+    # 21x, DEP 4.4-8.5x vs PyTorch).
+    for op in ("GRP", "DEP", "DIL"):
+        assert per_op[op]["vs_library"] > 1.5, (op, per_op[op])

@@ -1,0 +1,64 @@
+"""Figure 6a: absolute C2D performance on V100, layers C1..C15 (Table 4).
+
+Expected shape: FlexTensor beats PyTorch and cuDNN on most layers
+(geomean ~1.5x over cuDNN), while cuDNN's Winograd kernels win on C4 and
+C6 (the paper's crossover layers).
+"""
+
+from conftest import geomean, once, print_table, save_results
+
+from repro import optimize
+from repro.baselines import cudnn_time, pytorch_gpu_time
+from repro.model import V100
+from repro.ops import SUITES
+
+TRIALS = 60
+
+
+def run_fig6a():
+    rows = []
+    for index, workload in enumerate(SUITES["C2D"], start=1):
+        out = workload.build()
+        flex = optimize(out, V100, trials=TRIALS, num_seeds=8, seed=0)
+        cudnn = cudnn_time(workload, V100)
+        torch = pytorch_gpu_time(workload, V100)
+        rows.append({
+            "layer": f"C{index}",
+            "pytorch": torch.gflops,
+            "cudnn": cudnn.gflops,
+            "cudnn_algo": cudnn.algorithm,
+            "flextensor": flex.gflops,
+        })
+    return rows
+
+
+def test_fig6a(benchmark):
+    rows = once(benchmark, run_fig6a)
+    print_table(
+        "Figure 6a — C2D GFLOPS on V100",
+        ["layer", "PyTorch", "cuDNN", "algo", "FlexTensor", "flex/cudnn"],
+        [
+            [r["layer"], f"{r['pytorch']:.0f}", f"{r['cudnn']:.0f}",
+             r["cudnn_algo"], f"{r['flextensor']:.0f}",
+             f"{r['flextensor'] / r['cudnn']:.2f}"]
+            for r in rows
+        ],
+    )
+    save_results("fig6a", rows)
+
+    ratios = {r["layer"]: r["flextensor"] / r["cudnn"] for r in rows}
+    overall = geomean(list(ratios.values()))
+    print(f"geomean flex/cudnn: {overall:.2f} (paper: ~1.5)")
+
+    assert 1.2 < overall < 2.5, overall
+    # The Winograd crossover: cuDNN wins C4 and C6 (paper).
+    assert ratios["C4"] < 1.0, ratios["C4"]
+    assert ratios["C6"] < 1.0, ratios["C6"]
+    # FlexTensor wins at least 10 of the 15 layers.
+    assert sum(1 for r in ratios.values() if r > 1.0) >= 10, ratios
+    # PyTorch (no cuDNN) trails cuDNN throughout, as in the figure.
+    torch_wins = sum(1 for r in rows if r["pytorch"] > r["cudnn"])
+    assert torch_wins <= 2, torch_wins
+    # Average absolute throughput is in the multi-TFLOPS regime the paper
+    # reports (3.5 TFLOPS average for FlexTensor).
+    assert geomean([r["flextensor"] for r in rows]) > 1000

@@ -1,0 +1,65 @@
+"""§6.4: new operators without library support — BCM and SHO.
+
+Expected shape: FlexTensor beats the one-size hand-tuned GPU kernels on
+average (paper: 2.11x for BCM on V100, 1.53x for SHO on Titan X), because
+the hand implementation uses one 4-level tiling for every shape.
+"""
+
+from conftest import geomean, once, print_table, save_results
+
+from repro import optimize
+from repro.baselines import hand_tuned_gpu_time
+from repro.model import TITAN_X, V100
+from repro.ops import bcm_workloads, shift_workloads
+
+TRIALS = 50
+
+
+def run_sec64():
+    rows = []
+    for workload in bcm_workloads():
+        out = workload.build()
+        flex = optimize(out, V100, trials=TRIALS, num_seeds=8, seed=0)
+        hand = hand_tuned_gpu_time(workload, V100)
+        rows.append({
+            "operator": "BCM", "case": workload.name, "device": "V100",
+            "hand": hand.gflops, "flextensor": flex.gflops,
+            "speedup": flex.gflops / hand.gflops,
+        })
+    for workload in shift_workloads():
+        out = workload.build()
+        flex = optimize(out, TITAN_X, trials=TRIALS, num_seeds=8, seed=0)
+        hand = hand_tuned_gpu_time(workload, TITAN_X)
+        rows.append({
+            "operator": "SHO", "case": workload.name, "device": "TitanX",
+            "hand": hand.gflops, "flextensor": flex.gflops,
+            "speedup": flex.gflops / hand.gflops,
+        })
+    return rows
+
+
+def test_sec64(benchmark):
+    rows = once(benchmark, run_sec64)
+    print_table(
+        "§6.4 — new operators vs hand-tuned GPU kernels",
+        ["op", "case", "device", "hand GF", "flex GF", "speedup"],
+        [
+            [r["operator"], r["case"], r["device"], f"{r['hand']:.1f}",
+             f"{r['flextensor']:.1f}", f"{r['speedup']:.2f}"]
+            for r in rows
+        ],
+    )
+    save_results("sec64", rows)
+
+    bcm = geomean([r["speedup"] for r in rows if r["operator"] == "BCM"])
+    sho = geomean([r["speedup"] for r in rows if r["operator"] == "SHO"])
+    print(f"BCM avg speedup: {bcm:.2f} (paper: 2.11); SHO: {sho:.2f} (paper: 1.53)")
+
+    assert bcm > 1.2, bcm
+    # SHO is a zero-FLOP, purely bandwidth-bound operator: under our
+    # roofline-style machine model both the hand kernel and the searched
+    # schedule saturate DRAM, so parity (not the paper's 1.53x) is the
+    # reproducible outcome.  Documented in EXPERIMENTS.md.
+    assert sho > 0.9, sho
+    # every individual case should at least not regress badly
+    assert all(r["speedup"] > 0.8 for r in rows)

@@ -1,0 +1,72 @@
+"""§6.5: comparison with AutoTVM across C1D/T1D/C2D/T2D/C3D/T3D/GRP.
+
+Expected shape (paper): FlexTensor exceeds AutoTVM for all the operators
+except T2D (0.95x), with a substantial average speedup; FlexTensor's
+schedule space is ~3 orders of magnitude larger (paper: 2027x for C2D).
+The biggest wins come from the operators AutoTVM had no official
+templates for (C1D, T1D, C3D, T3D — the paper's authors wrote make-do
+templates for them), which we model as structurally naive templates that
+materialize the data-rearrangement stages.
+"""
+
+from conftest import geomean, once, print_table, save_results
+
+from repro import optimize
+from repro.baselines import autotvm_optimize, build_template_space
+from repro.model import V100
+from repro.ops import SUITES
+from repro.space import build_space
+
+OPS = ["C1D", "T1D", "C2D", "T2D", "C3D", "T3D", "GRP"]
+#: operators with official AutoTVM template support (template inlines the
+#: helper stages); the rest get author-written, structurally naive ones.
+OFFICIAL_TEMPLATES = {"C2D", "T2D", "GRP"}
+CASES_PER_OP = 3
+FLEX_TRIALS = 60
+AUTOTVM_TRIALS = 30
+
+
+def run_sec65():
+    per_op = {}
+    space_ratios = []
+    for opname in OPS:
+        ratios = []
+        for workload in SUITES[opname][:CASES_PER_OP]:
+            out = workload.build()
+            flex = optimize(out, V100, trials=FLEX_TRIALS,
+                            num_starting_points=6, num_seeds=8, seed=0)
+            at = autotvm_optimize(
+                out, V100, trials=AUTOTVM_TRIALS, seed=0,
+                inline_helpers=opname in OFFICIAL_TEMPLATES,
+            )
+            ratios.append(flex.gflops / max(at.best_performance, 1e-9))
+            if opname == "C2D":
+                space_ratios.append(
+                    build_space(out, "gpu").size
+                    / build_template_space(out, "gpu").size
+                )
+        per_op[opname] = geomean(ratios)
+    return per_op, space_ratios
+
+
+def test_sec65(benchmark):
+    per_op, space_ratios = once(benchmark, run_sec65)
+    rows = [[op, f"{per_op[op]:.2f}"] for op in OPS]
+    overall = geomean(list(per_op.values()))
+    rows.append(["AVERAGE", f"{overall:.2f}"])
+    print_table("§6.5 — FlexTensor speedup over AutoTVM (V100)",
+                ["op", "flex/autotvm"], rows)
+    space_ratio = geomean(space_ratios)
+    print(f"C2D space-size ratio flex/template: {space_ratio:.0f}x (paper: 2027x)")
+    save_results("sec65", {"per_op": per_op, "space_ratio": space_ratio})
+
+    # Average speedup is clearly positive (paper: 2.21x; our band is loose
+    # because the simulated landscape is smoother than real hardware).
+    assert overall > 1.2, per_op
+    # T2D stays the weak spot: roughly parity, not a clear win (paper 0.95x).
+    assert per_op["T2D"] < 1.25, per_op["T2D"]
+    # The template-less operators are where FlexTensor wins big.
+    assert per_op["T1D"] > 1.3
+    assert per_op["T3D"] > 1.3
+    # FlexTensor's generated space is orders of magnitude larger.
+    assert space_ratio > 100, space_ratio

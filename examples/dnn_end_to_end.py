@@ -1,0 +1,46 @@
+"""Optimizing a full network (the §6.6 case study).
+
+Partitions YOLO-v1 and OverFeat into sub-graphs, fuses the elementwise
+epilogues into their producing convolution, optimizes every distinct
+layer with FlexTensor and with the AutoTVM baseline, and reports the
+end-to-end inference time of both.
+
+Run:  python examples/dnn_end_to_end.py         # OverFeat only (fast)
+      python examples/dnn_end_to_end.py --yolo  # also YOLO-v1's 24 layers
+"""
+
+import sys
+
+from repro.model import V100
+from repro.nn import optimize_network, overfeat, partition_network, yolo_v1
+
+
+def report(network, trials=30):
+    print(f"=== {network.name}: {network.num_layers} conv layers, "
+          f"{network.total_flops() / 1e9:.1f} GFLOP ===")
+    groups = partition_network(network, fuse=True)
+    print(f"partitioned into {len(groups)} fusion groups "
+          f"(conv + {groups[0].fused_elementwise})")
+
+    flex = optimize_network(network, V100, trials=trials, method="q", seed=0)
+    autotvm = optimize_network(network, V100, trials=15, method="autotvm", seed=0)
+
+    print(f"{'layer':<18}{'mult':>5}{'flex (ms)':>12}{'GFLOPS':>9}")
+    for layer in flex.layers:
+        print(f"{layer.layer.workload.name:<18}{layer.layer.multiplicity:>5}"
+              f"{layer.kernel_seconds * 1e3:>12.3f}{layer.gflops:>9.0f}")
+    print(f"\nFlexTensor end-to-end: {flex.total_seconds * 1e3:8.2f} ms "
+          f"({flex.gflops:.0f} GFLOPS)")
+    print(f"AutoTVM    end-to-end: {autotvm.total_seconds * 1e3:8.2f} ms")
+    print(f"speedup: {autotvm.total_seconds / flex.total_seconds:.2f}x "
+          f"(paper: 1.07x YOLO-v1, 1.39x OverFeat)\n")
+
+
+def main():
+    report(overfeat())
+    if "--yolo" in sys.argv:
+        report(yolo_v1())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Comparing exploration strategies on one schedule space.
+
+Runs the Q-method (FlexTensor), the P-method, a random walk and the
+AutoTVM baseline on the same convolution layer and draws their
+convergence (best GFLOPS vs simulated tuning time) as an ASCII chart —
+the single-panel version of the paper's Figure 7.
+
+Run:  python examples/exploration_methods.py
+"""
+
+from repro.baselines import AutoTVMTuner, build_template_space
+from repro.explore import FlexTensorTuner, PMethodTuner, RandomWalkTuner
+from repro.model import V100
+from repro.ops import yolo_conv2d_workload
+from repro.runtime import Evaluator
+
+
+def run_all(workload):
+    out = workload.build()
+    curves = {}
+    ev = Evaluator(out, V100)
+    curves["q-method"] = FlexTensorTuner(
+        ev, num_starting_points=8, steps=6, seed=0
+    ).tune(60, num_seeds=16).curve
+    ev = Evaluator(out, V100)
+    curves["p-method"] = PMethodTuner(ev, seed=0).tune(8, num_seeds=16).curve
+    ev = Evaluator(out, V100)
+    curves["random-walk"] = RandomWalkTuner(ev, seed=0).tune(120, num_seeds=16).curve
+    ev = Evaluator(out, V100, space=build_template_space(out, "gpu"))
+    curves["autotvm"] = AutoTVMTuner(ev, model_fit_seconds=8.0, seed=0).tune(25).curve
+    return curves
+
+
+def best_at(curve, t):
+    best = 0.0
+    for clock, perf in curve:
+        if clock > t:
+            break
+        best = perf
+    return best
+
+
+def ascii_chart(curves, width=64, height=14):
+    t_max = max(curve[-1][0] for curve in curves.values())
+    p_max = max(perf for curve in curves.values() for _, perf in curve)
+    glyphs = {"q-method": "Q", "p-method": "P", "random-walk": "r", "autotvm": "A"}
+    grid = [[" "] * width for _ in range(height)]
+    for name, curve in curves.items():
+        for col in range(width):
+            t = (col + 1) / width * t_max
+            perf = best_at(curve, t)
+            row = height - 1 - int(perf / p_max * (height - 1))
+            if grid[row][col] == " ":
+                grid[row][col] = glyphs[name]
+    print(f"best GFLOPS (peak {p_max:.0f}) vs simulated time (0..{t_max:.0f}s)")
+    for row in grid:
+        print("|" + "".join(row))
+    print("+" + "-" * width)
+    print("legend: Q=q-method  P=p-method  r=random-walk  A=autotvm")
+
+
+def main():
+    workload = yolo_conv2d_workload(8)
+    print(f"workload: {workload}\n")
+    curves = run_all(workload)
+    for name, curve in curves.items():
+        final = curve[-1][1] if curve else 0.0
+        print(f"{name:>12}: {len(curve):4d} measurements, final {final:7.0f} GFLOPS")
+    print()
+    ascii_chart(curves)
+
+
+if __name__ == "__main__":
+    main()

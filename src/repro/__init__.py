@@ -1,0 +1,32 @@
+"""FlexTensor reproduction: automatic schedule exploration and optimization
+for tensor computation on heterogeneous systems (ASPLOS 2020).
+
+Quickstart::
+
+    from repro import ops, optimize
+    from repro.model import V100
+
+    conv = ops.conv2d_compute(1, 256, 28, 28, 512, 3, stride=1, padding=1)
+    result = optimize(conv, V100, trials=40)
+    print(result.summary())
+    print(result.generated_code())
+
+The package layers (bottom-up): :mod:`repro.ir` (tensor-expression IR),
+:mod:`repro.graph` + :mod:`repro.analysis` (the front-end), :mod:`repro.space`
+(schedule-space generation), :mod:`repro.schedule` + :mod:`repro.codegen`
+(lowering, interpretation, code emission), :mod:`repro.model` (the simulated
+heterogeneous hardware), :mod:`repro.explore` (SA + Q-learning back-end),
+:mod:`repro.baselines` (vendor libraries, AutoTVM), :mod:`repro.ops`
+(operator zoo and workload suites), :mod:`repro.nn` (DNN case study), and
+:mod:`repro.optimize` (the public entry point).
+"""
+
+from . import analysis, baselines, codegen, explore, graph, ir, model, nn, ops, runtime, schedule, space, utils, viz
+from .optimize import GraphOptimizeResult, OptimizeResult, optimize, optimize_graph, tune_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OptimizeResult", "analysis", "baselines", "codegen", "explore", "graph", "tune_workload", "viz",
+    "ir", "model", "nn", "ops", "optimize", "runtime", "schedule", "space", "utils",
+]

@@ -1,0 +1,94 @@
+"""Command-line interface: tune an operator without writing code.
+
+Examples::
+
+    python -m repro conv2d --device V100 --in-channel 256 --out-channel 512 \
+        --size 28 --kernel 3 --trials 40
+    python -m repro gemm --device XeonE5-2699v4 --n 1024 --k 1024 --m 1024
+    python -m repro conv2d --device VU9P --size 14 --save tuned.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import optimize
+from .model import DEVICES
+from .ops import conv2d_compute, gemm_compute, gemv_compute
+from .utils import save_schedule
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro command-line argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlexTensor reproduction: tune a tensor operator for a "
+                    "simulated device.",
+    )
+    parser.add_argument("operator", choices=["conv2d", "gemm", "gemv"])
+    parser.add_argument("--device", default="V100", choices=sorted(DEVICES))
+    parser.add_argument("--trials", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--method", default="q",
+                        choices=["q", "p", "random-walk", "random-sample"])
+    parser.add_argument("--save", help="write the tuned schedule to a JSON file")
+    parser.add_argument("--show-code", action="store_true",
+                        help="print the generated Python kernel")
+    # conv2d shape
+    parser.add_argument("--batch", type=int, default=1)
+    parser.add_argument("--in-channel", type=int, default=256)
+    parser.add_argument("--out-channel", type=int, default=512)
+    parser.add_argument("--size", type=int, default=28, help="height = width")
+    parser.add_argument("--kernel", type=int, default=3)
+    parser.add_argument("--stride", type=int, default=1)
+    parser.add_argument("--padding", type=int, default=None)
+    # gemm/gemv shape
+    parser.add_argument("--n", type=int, default=1024)
+    parser.add_argument("--k", type=int, default=1024)
+    parser.add_argument("--m", type=int, default=1024)
+    return parser
+
+
+def build_operator(args):
+    """Instantiate the requested operator from parsed arguments."""
+    if args.operator == "conv2d":
+        padding = args.padding if args.padding is not None else args.kernel // 2
+        return conv2d_compute(
+            args.batch, args.in_channel, args.size, args.size,
+            args.out_channel, args.kernel, stride=args.stride, padding=padding,
+        )
+    if args.operator == "gemm":
+        return gemm_compute(args.n, args.k, args.m)
+    return gemv_compute(args.n, args.k)
+
+
+def main(argv=None) -> int:
+    """CLI entry point: tune, print, optionally save the schedule."""
+    args = build_parser().parse_args(argv)
+    output = build_operator(args)
+    device = DEVICES[args.device]
+    result = optimize(
+        output, device, trials=args.trials, method=args.method, seed=args.seed
+    )
+    print(result.summary())
+    if args.show_code:
+        print()
+        print(result.generated_code())
+    if args.save:
+        save_schedule(
+            args.save,
+            result.config,
+            result.graph_config,
+            metadata={
+                "operator": args.operator,
+                "device": args.device,
+                "gflops": result.gflops,
+            },
+        )
+        print(f"\nschedule saved to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

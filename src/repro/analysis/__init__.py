@@ -1,0 +1,13 @@
+"""Front-end static analysis (§4.1)."""
+
+from .info import AnalysisResult, StatisticalInfo, StructuralInfo
+from .static_analyzer import analyze, arithmetic_intensity, operation_flops
+
+__all__ = [
+    "AnalysisResult",
+    "StatisticalInfo",
+    "StructuralInfo",
+    "analyze",
+    "arithmetic_intensity",
+    "operation_flops",
+]

@@ -1,0 +1,65 @@
+"""Statistical and structural information records (§4.1, Figure 3c)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class StatisticalInfo:
+    """Per-node loop statistics.
+
+    Fields follow the paper's notation: ``num_spatial`` (#sl),
+    ``num_reduce`` (#rl), ``spatial_trip_counts`` (stc),
+    ``reduce_trip_counts`` (rtc) and ``order`` (loop names outer-to-inner).
+    """
+
+    num_spatial: int
+    num_reduce: int
+    spatial_trip_counts: Tuple[int, ...]
+    reduce_trip_counts: Tuple[int, ...]
+    order: Tuple[str, ...]
+
+    @property
+    def iteration_space(self) -> int:
+        """Total number of innermost-body executions for this node."""
+        total = 1
+        for t in self.spatial_trip_counts + self.reduce_trip_counts:
+            total *= t
+        return total
+
+
+@dataclass(frozen=True)
+class StructuralInfo:
+    """Per-node graph-shape statistics: #in, #out, #cs plus graph #node."""
+
+    num_nodes: int
+    num_inputs: int
+    num_outputs: int
+    num_consumers: int
+
+
+@dataclass
+class AnalysisResult:
+    """The full front-end analysis of one tensor computation."""
+
+    statistical: Dict[str, StatisticalInfo] = field(default_factory=dict)
+    structural: Dict[str, StructuralInfo] = field(default_factory=dict)
+    node_order: List[str] = field(default_factory=list)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_order)
+
+    def main(self) -> StatisticalInfo:
+        """Statistics for the root node (last in post order)."""
+        return self.statistical[self.node_order[-1]]
+
+    def totals(self) -> Tuple[int, int]:
+        """Graph-wide (#spatial, #reduce) loop counts, summed over compute
+        nodes the way Table 3's "Analysis Results" column aggregates them
+        (e.g. C2D with a padding node reports 8 spatial / 3 reduce)."""
+        spatial = sum(s.num_spatial for s in self.statistical.values())
+        reduce_ = sum(s.num_reduce for s in self.statistical.values())
+        return spatial, reduce_

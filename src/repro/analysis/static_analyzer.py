@@ -1,0 +1,68 @@
+"""Static analysis of tensor computations (front-end, §4.1).
+
+Extracts the statistical information (loop counts, trip counts, order) and
+structural information (graph shape) that the schedule-space generator
+consumes.
+"""
+
+from __future__ import annotations
+
+from ..graph import MiniGraph, get_graph
+from ..ir import ComputeOp, Tensor, count_flops_per_point
+from .info import AnalysisResult, StatisticalInfo, StructuralInfo
+
+
+def analyze(output) -> AnalysisResult:
+    """Run the static analyzer on the computation producing ``output``."""
+    graph = output if isinstance(output, MiniGraph) else get_graph(output)
+    result = AnalysisResult()
+    for op in graph.post_order_traverse():
+        if not isinstance(op, ComputeOp):
+            continue
+        result.node_order.append(op.name)
+        result.statistical[op.name] = StatisticalInfo(
+            num_spatial=len(op.axes),
+            num_reduce=len(op.reduce_axes),
+            spatial_trip_counts=tuple(a.extent for a in op.axes),
+            reduce_trip_counts=tuple(a.extent for a in op.reduce_axes),
+            order=tuple(a.name for a in op.all_axes),
+        )
+        result.structural[op.name] = StructuralInfo(
+            num_nodes=graph.num_nodes,
+            num_inputs=len(op.input_tensors),
+            num_outputs=1,
+            num_consumers=len(graph.consumers(op)),
+        )
+    if not result.node_order:
+        raise ValueError("computation has no compute nodes to analyze")
+    return result
+
+
+def operation_flops(output: Tensor) -> int:
+    """Total floating-point operations for the computation (the paper's
+    FLOPs column in Table 3; a multiply-accumulate counts as 2)."""
+    graph = get_graph(output)
+    total = 0
+    for op in graph.compute_ops:
+        points = 1
+        for axis in op.axes:
+            points *= axis.extent
+        reduce_trip = 1
+        for axis in op.reduce_axes:
+            reduce_trip *= axis.extent
+        total += points * reduce_trip * count_flops_per_point(op.body)
+    return total
+
+
+def arithmetic_intensity(output: Tensor) -> float:
+    """FLOPs per byte touched, assuming each tensor is read/written once.
+
+    A coarse roofline coordinate used by space pruning to pick sensible
+    default tile shapes for memory-bound vs compute-bound operators.
+    """
+    graph = get_graph(output)
+    flops = operation_flops(output)
+    bytes_touched = 0
+    for op in graph.operations:
+        bytes_touched += op.output.size * 4
+    return flops / max(bytes_touched, 1)

@@ -1,0 +1,21 @@
+"""Baselines: simulated vendor libraries and the AutoTVM comparison."""
+
+from .autotvm import AutoTVMTuner, autotvm_optimize, build_template_space
+from .gbt import GradientBoostedTrees, RegressionTree
+from .vendor import (
+    LibraryResult,
+    cublas_time,
+    cudnn_time,
+    fpga_opencl_time,
+    gpu_library_time,
+    hand_tuned_gpu_time,
+    mkldnn_time,
+    pytorch_gpu_time,
+)
+
+__all__ = [
+    "AutoTVMTuner", "GradientBoostedTrees", "LibraryResult", "RegressionTree",
+    "autotvm_optimize", "build_template_space", "cublas_time", "cudnn_time",
+    "fpga_opencl_time", "gpu_library_time", "hand_tuned_gpu_time",
+    "mkldnn_time", "pytorch_gpu_time",
+]

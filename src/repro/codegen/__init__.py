@@ -1,0 +1,33 @@
+"""Code generation and execution of scheduled programs."""
+
+from .features import (
+    access_stride,
+    bytes_of,
+    coalescing_efficiency,
+    flops_of,
+    output_write_stride,
+    reuse_factor,
+    tensor_reads,
+    tile_footprint,
+)
+from .interp import (
+    execute_compute_op,
+    execute_reference,
+    execute_scheduled,
+    random_inputs,
+)
+from .pycodegen import (
+    compile_python,
+    emit_pseudo,
+    emit_python,
+    expr_to_python,
+    run_generated,
+)
+
+__all__ = [
+    "access_stride", "bytes_of", "coalescing_efficiency", "compile_python",
+    "emit_pseudo", "emit_python", "execute_compute_op", "execute_reference",
+    "execute_scheduled", "expr_to_python", "flops_of", "output_write_stride",
+    "random_inputs", "reuse_factor", "run_generated", "tensor_reads",
+    "tile_footprint",
+]

@@ -1,0 +1,184 @@
+"""Feature extraction from scheduled programs for the machine models.
+
+The models need two things the schedule alone doesn't state directly:
+
+* **tile footprints** — how many elements of each input a tile of the
+  iteration space touches (determines shared-memory/BRAM usage, cache
+  working sets and memory traffic), and
+* **access strides** — the flat-memory stride of a given loop variable in
+  each input (determines GPU coalescing and CPU vectorization quality).
+
+Both are derived from the affine structure of the tensor index expressions
+(``repro.ir.evalexpr``); non-affine accesses (e.g. BCM's modular indexing
+or grouped convolution's ``k // group_size``) conservatively fall back to
+whole-dimension footprints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import (
+    ComputeOp,
+    IterVar,
+    Reduce,
+    Tensor,
+    affine_coefficients,
+    collect_tensor_refs,
+    stride_of,
+)
+
+
+def tensor_reads(op: ComputeOp):
+    """All tensor-element reads in the op body (including duplicates)."""
+    body = op.body.body if isinstance(op.body, Reduce) else op.body
+    return collect_tensor_refs(body)
+
+
+_COEFFICIENT_CACHE: Dict = {}
+_CACHE_PINS: list = []
+
+
+def access_coefficients(op: ComputeOp, tensor: Tensor):
+    """Per-dimension affine coefficients of the op's first read of
+    ``tensor`` over ``op.all_axes`` (None for non-affine dimensions).
+
+    Cached: the performance models call this for every candidate point,
+    and the probing answer only depends on (op, tensor).
+    """
+    key = (id(op), id(tensor))
+    if key in _COEFFICIENT_CACHE:
+        return _COEFFICIENT_CACHE[key]
+    axes = list(op.all_axes)
+    refs = [r for r in tensor_reads(op) if r.tensor is tensor]
+    if not refs:
+        result = None
+    else:
+        ref = refs[0]
+        result = [affine_coefficients(index, axes) for index in ref.indices]
+    _COEFFICIENT_CACHE[key] = result
+    # Keep the op/tensor alive so their ids stay unique while cached.
+    _CACHE_PINS.append((op, tensor))
+    return result
+
+
+def tile_footprint(op: ComputeOp, tensor: Tensor, tile: Dict[IterVar, int]) -> int:
+    """Elements of ``tensor`` touched by one tile of the iteration space.
+
+    ``tile`` maps each axis of ``op`` to its tile extent; omitted axes
+    default to extent 1.  For each tensor dimension the touched range is
+    ``1 + Σ_axes |coeff| * (tile_extent - 1)`` (clipped to the dimension),
+    the standard affine footprint bound; a non-affine dimension counts in
+    full.
+    """
+    per_dim = access_coefficients(op, tensor)
+    if per_dim is None:
+        return 0
+    axes = list(op.all_axes)
+    footprint = 1
+    for size, coeffs in zip(tensor.shape, per_dim):
+        if coeffs is None:
+            footprint *= size
+            continue
+        reach = 1
+        for axis, coeff in zip(axes, coeffs[:-1]):
+            extent = tile.get(axis, 1)
+            reach += abs(coeff) * (extent - 1)
+        footprint *= min(reach, size)
+    return footprint
+
+
+def reuse_factor(op: ComputeOp, tensor: Tensor, tile: Dict[IterVar, int]) -> float:
+    """How many times each fetched element of ``tensor`` is used within a
+    tile: tile iterations / footprint.  >1 means caching the tile pays."""
+    iterations = 1
+    for axis in op.all_axes:
+        iterations *= tile.get(axis, 1)
+    footprint = tile_footprint(op, tensor, tile)
+    if footprint == 0:
+        return 1.0
+    return iterations / footprint
+
+
+def access_stride(op: ComputeOp, tensor: Tensor, axis: IterVar) -> Optional[int]:
+    """Flat row-major stride of ``axis`` in the op's read of ``tensor``.
+
+    ``None`` means non-affine; ``0`` means the axis does not index the
+    tensor (full reuse along it).
+    """
+    per_dim = access_coefficients(op, tensor)
+    if per_dim is None:
+        return 0
+    axes = list(op.all_axes)
+    try:
+        position = next(i for i, a in enumerate(axes) if a is axis)
+    except StopIteration:
+        return 0
+    stride = 0
+    row_major = 1
+    for size, coeffs in zip(reversed(tensor.shape), reversed(per_dim)):
+        if coeffs is None:
+            return None
+        stride += coeffs[position] * row_major
+        row_major *= size
+    return stride
+
+
+def coalescing_efficiency(
+    op: ComputeOp, tensor: Tensor, axis: Optional[IterVar], run_threads: int = 32
+) -> float:
+    """Fraction of a memory transaction usefully consumed by a warp whose
+    consecutive threads step ``axis``, ``run_threads`` of them before the
+    next-outer fused index changes.
+
+    * stride 0 — all lanes read one address (broadcast): perfect;
+    * stride 1 — ``run_threads`` consecutive floats per run: a 32-byte
+      sector serves ``min(run_threads, 8)`` of them, so efficiency is
+      ``run_threads / 8`` until runs fill whole sectors;
+    * stride s — runs are s-spread, wasting a factor of ~s more;
+    * non-affine — worst case, one useful word per sector.
+
+    This is what makes *shape-adapted* thread tiling matter: putting 14 or
+    28 threads on a width-28 axis yields long coalesced runs, while a
+    power-of-two template is stuck at runs of 2 or 4 (§2.3's motivation).
+    """
+    floor = 1.0 / 8.0
+    if axis is None:
+        return floor
+    stride = access_stride(op, tensor, axis)
+    if stride is None:
+        return floor
+    stride = abs(stride)
+    if stride == 0:
+        return 1.0
+    run = max(run_threads, 1)
+    return min(1.0, max(floor, run / (8.0 * stride)))
+
+
+def output_write_stride(op: ComputeOp, axis: IterVar) -> int:
+    """Row-major stride of ``axis`` in the output write."""
+    stride = 1
+    position = None
+    for i, a in enumerate(op.axes):
+        if a is axis:
+            position = i
+            break
+    if position is None:
+        return 0
+    for size in op.output.shape[position + 1 :]:
+        stride *= size
+    return stride
+
+
+def flops_of(op: ComputeOp) -> int:
+    """Total floating-point operations of the node (MAC = 2)."""
+    from ..ir import count_flops_per_point
+
+    total = op.output.size
+    for axis in op.reduce_axes:
+        total *= axis.extent
+    return total * count_flops_per_point(op.body)
+
+
+def bytes_of(tensor: Tensor, dtype_bytes: int = 4) -> int:
+    return tensor.size * dtype_bytes

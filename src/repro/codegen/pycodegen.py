@@ -1,0 +1,228 @@
+"""Source-code generation from scheduled loop nests.
+
+Two backends:
+
+* :func:`emit_python` / :func:`compile_python` — real, executable Python:
+  the transformed loop nest as nested ``for`` loops over numpy buffers.
+  This is the "generated low-level code" of the reproduction; it must (and
+  is tested to) agree with the interpreter and the numpy references.
+* :func:`emit_pseudo` — CUDA/C/HLS-flavoured pseudo-code for humans,
+  showing how loops map to blocks/threads/PEs on each target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..graph import get_graph
+from ..ir import (
+    And,
+    BinaryOp,
+    Compare,
+    ComputeOp,
+    Condition,
+    Expr,
+    FloatImm,
+    FloorDiv,
+    IntImm,
+    IterVar,
+    Max,
+    Min,
+    Mod,
+    Or,
+    Reduce,
+    Select,
+    TensorRef,
+    Var,
+)
+from ..schedule import BLOCK_X, PARALLEL, PE_PARALLEL, Scheduled, THREAD_X, UNROLL, VECTORIZE, VTHREAD
+
+_ANNOTATION_COMMENT = {
+    BLOCK_X: "bind blockIdx.x",
+    THREAD_X: "bind threadIdx.x",
+    VTHREAD: "virtual thread",
+    PARALLEL: "parallel",
+    VECTORIZE: "vectorize",
+    UNROLL: "unroll",
+    PE_PARALLEL: "PE array",
+}
+
+
+def expr_to_python(expr: Expr, env: Dict, inlined: Dict) -> str:
+    """Render an expression as Python source.
+
+    ``env`` maps variables to source strings; ``inlined`` maps tensors to
+    their producer :class:`ComputeOp` whose body is expanded in place.
+    """
+    if isinstance(expr, IntImm):
+        return str(expr.value)
+    if isinstance(expr, FloatImm):
+        return repr(expr.value)
+    if isinstance(expr, (Var, IterVar)):
+        try:
+            return env[expr]
+        except KeyError:
+            raise KeyError(f"unbound variable {expr.name!r} during codegen") from None
+    from ..ir import Unary
+
+    if isinstance(expr, Unary):
+        return f"math.{expr.fn}({expr_to_python(expr.a, env, inlined)})"
+    if isinstance(expr, Min):
+        return f"min({expr_to_python(expr.a, env, inlined)}, {expr_to_python(expr.b, env, inlined)})"
+    if isinstance(expr, Max):
+        return f"max({expr_to_python(expr.a, env, inlined)}, {expr_to_python(expr.b, env, inlined)})"
+    if isinstance(expr, BinaryOp):
+        return (
+            f"({expr_to_python(expr.a, env, inlined)} {expr.symbol} "
+            f"{expr_to_python(expr.b, env, inlined)})"
+        )
+    if isinstance(expr, Select):
+        return (
+            f"({expr_to_python(expr.then_value, env, inlined)} "
+            f"if {condition_to_python(expr.condition, env, inlined)} "
+            f"else {expr_to_python(expr.else_value, env, inlined)})"
+        )
+    if isinstance(expr, TensorRef):
+        indices = [expr_to_python(i, env, inlined) for i in expr.indices]
+        tensor = expr.tensor
+        if tensor in inlined:
+            producer = inlined[tensor]
+            inner_env = dict(env)
+            for axis, index_src in zip(producer.axes, indices):
+                inner_env[axis] = f"({index_src})"
+            return expr_to_python(producer.body, inner_env, inlined)
+        return f"{tensor.name}[{', '.join(indices)}]"
+    if isinstance(expr, Reduce):
+        raise TypeError("Reduce must be handled by the loop emitter")
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def condition_to_python(cond: Condition, env: Dict, inlined: Dict) -> str:
+    if isinstance(cond, Compare):
+        return (
+            f"({expr_to_python(cond.a, env, inlined)} {cond.op} "
+            f"{expr_to_python(cond.b, env, inlined)})"
+        )
+    if isinstance(cond, And):
+        return f"({condition_to_python(cond.a, env, inlined)} and {condition_to_python(cond.b, env, inlined)})"
+    if isinstance(cond, Or):
+        return f"({condition_to_python(cond.a, env, inlined)} or {condition_to_python(cond.b, env, inlined)})"
+    raise TypeError(f"unknown condition node {cond!r}")
+
+
+def emit_python(scheduled: Scheduled, function_name: str = "kernel") -> str:
+    """Generate executable Python for the scheduled main node.
+
+    The function signature is ``kernel(buffers)`` where ``buffers`` maps
+    tensor names (placeholders and materialized producers) to numpy
+    arrays; it returns the output array.
+    """
+    op = scheduled.op
+    body = op.body
+    is_reduce = isinstance(body, Reduce)
+    inner_body = body.body if is_reduce else body
+    inlined = {producer.output: producer for producer in scheduled.inlined}
+
+    lines: List[str] = [f"def {function_name}(buffers):"]
+    graph = get_graph(op.output)
+    needed = set()
+    for producer in graph.operations:
+        if producer is op:
+            continue
+        if isinstance(producer, ComputeOp) and producer in set(scheduled.inlined):
+            continue
+        needed.add(producer.output)
+    # Only bind tensors actually read (transitively through inlining).
+    for tensor in sorted(needed, key=lambda t: t.name):
+        lines.append(f"    {tensor.name} = buffers[{tensor.name!r}]")
+    init = "-float('inf')" if is_reduce and body.combiner == "max" else "0.0"
+    shape = ", ".join(str(s) for s in op.output.shape)
+    if init == "0.0":
+        lines.append(f"    out = np.zeros(({shape},))")
+    else:
+        lines.append(f"    out = np.full(({shape},), {init})")
+
+    indent = "    "
+    env: Dict = {}
+    for loop in scheduled.loops:
+        comment = _ANNOTATION_COMMENT.get(loop.annotation)
+        suffix = f"  # {comment}" if comment else ""
+        var_src = loop.var.name.replace(".", "_")
+        env[loop.var] = var_src
+        lines.append(f"{indent}for {var_src} in range({loop.extent}):{suffix}")
+        indent += "    "
+    # Reconstruct the original iteration indices.
+    axis_env: Dict = {}
+    for axis in op.all_axes:
+        src = expr_to_python(scheduled.index_map[axis], env, {})
+        axis_src = axis.name.replace(".", "_")
+        lines.append(f"{indent}{axis_src} = {src}")
+        axis_env[axis] = axis_src
+    out_idx = ", ".join(axis_env[a] for a in op.axes)
+    value = expr_to_python(inner_body, axis_env, inlined)
+    if is_reduce and body.combiner == "sum":
+        lines.append(f"{indent}out[{out_idx}] += {value}")
+    elif is_reduce:
+        lines.append(f"{indent}out[{out_idx}] = max(out[{out_idx}], {value})")
+    else:
+        lines.append(f"{indent}out[{out_idx}] = {value}")
+    lines.append("    return out")
+    return "\n".join(lines)
+
+
+def compile_python(scheduled: Scheduled, function_name: str = "kernel"):
+    """Compile the generated Python and return the callable."""
+    source = emit_python(scheduled, function_name)
+    import math
+
+    namespace = {"np": np, "math": math}
+    exec(compile(source, f"<generated {scheduled.op.name}>", "exec"), namespace)
+    return namespace[function_name]
+
+
+def run_generated(scheduled: Scheduled, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+    """Materialize non-inlined producers, then run the generated kernel."""
+    from .interp import _bind_inputs, _BufferSpace, execute_compute_op
+
+    op = scheduled.op
+    graph = get_graph(op.output)
+    buffers = _bind_inputs(graph, inputs)
+    space = _BufferSpace(buffers, inlined=scheduled.inlined)
+    named: Dict[str, np.ndarray] = {t.name: b for t, b in buffers.items()}
+    inlined_set = set(scheduled.inlined)
+    for producer in graph.compute_ops:
+        if producer is op or producer in inlined_set:
+            continue
+        array = execute_compute_op(producer, space)
+        space[producer.output] = array
+        named[producer.output.name] = array
+    kernel = compile_python(scheduled)
+    return kernel(named)
+
+
+_TARGET_HEADER = {
+    "gpu": "// CUDA-like pseudo-code (each blockIdx/threadIdx loop is a hardware index)",
+    "cpu": "// C-like pseudo-code (parallel = OpenMP worksharing, vectorize = SIMD)",
+    "fpga": "// HLS-like pseudo-code (PE loop unrolled into the processing-element array)",
+}
+
+
+def emit_pseudo(scheduled: Scheduled) -> str:
+    """Human-readable target-flavoured pseudo-code of the schedule."""
+    op = scheduled.op
+    lines = [_TARGET_HEADER.get(scheduled.target, "//"), f"// kernel {op.name}"]
+    for tensor in scheduled.cached_tensors:
+        scope = "__shared__" if scheduled.target == "gpu" else "local_buffer"
+        lines.append(f"{scope} float {tensor.name}_tile[...];")
+    indent = ""
+    for loop in scheduled.loops:
+        note = _ANNOTATION_COMMENT.get(loop.annotation, "")
+        pragma = f"  // {note}" if note else ""
+        lines.append(f"{indent}for (int {loop.var.name.replace('.', '_')} = 0; "
+                     f"< {loop.extent}; ++){pragma}")
+        indent += "  "
+    out_idx = ", ".join(a.name for a in op.axes)
+    lines.append(f"{indent}{op.name}[{out_idx}] (+)= ...;")
+    return "\n".join(lines)

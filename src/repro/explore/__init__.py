@@ -1,0 +1,20 @@
+"""Back-end exploration: SA + Q-learning and comparison methods (§5.1)."""
+
+from .network import AdaDelta, MLP
+from .qlearning import QAgent, Transition, normalized_reward
+from .sa import select_starting_points, selection_probabilities
+from .tuner import (
+    BaseTuner,
+    FlexTensorTuner,
+    PMethodTuner,
+    RandomSampleTuner,
+    RandomWalkTuner,
+    TuneResult,
+)
+
+__all__ = [
+    "AdaDelta", "BaseTuner", "FlexTensorTuner", "MLP", "PMethodTuner",
+    "QAgent", "RandomSampleTuner", "RandomWalkTuner", "Transition",
+    "TuneResult", "normalized_reward", "select_starting_points",
+    "selection_probabilities",
+]

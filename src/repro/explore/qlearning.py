@@ -1,0 +1,133 @@
+"""Q-learning direction selection (§5.1, "Machine Learning Method").
+
+Directions in the rearranged schedule space are the actions of a
+reinforcement-learning problem: state = current point, action = direction,
+reward = normalized performance improvement ``(E_e - E_p) / E_p``.  A
+four-layer ReLU network predicts per-direction Q-values; training happens
+periodically (every five trials) on the recorded transition tuples with
+DQN-style targets ``reward + α · max_d Y(e)`` computed by a target-network
+copy ``Y`` and optimized by AdaDelta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..space import Point, ScheduleSpace
+from .network import MLP
+
+
+@dataclass
+class Transition:
+    """One recorded move: (p, direction, e, reward) of §5.1."""
+
+    state: Point
+    direction: int
+    next_state: Point
+    reward: float
+
+
+class QAgent:
+    """Direction-choosing agent over one schedule space."""
+
+    def __init__(
+        self,
+        space: ScheduleSpace,
+        alpha: float = 0.8,
+        epsilon: float = 0.5,
+        epsilon_decay: float = 0.96,
+        epsilon_min: float = 0.05,
+        hidden: int = 64,
+        train_period: int = 5,
+        seed: int = 0,
+    ):
+        self.space = space
+        self.alpha = alpha          # discount on the bootstrapped term
+        self.epsilon = epsilon      # exploration rate (decays per trial)
+        self.epsilon_decay = epsilon_decay
+        self.epsilon_min = epsilon_min
+        self.train_period = train_period
+        self.network = MLP(space.feature_size, space.num_directions, hidden, seed=seed)
+        self.target_network = MLP(space.feature_size, space.num_directions, hidden, seed=seed)
+        self.target_network.copy_from(self.network)
+        self.transitions: List[Transition] = []
+        self.losses: List[float] = []
+        # Per-direction running reward statistics: a cheap global prior the
+        # network refines.  Optimistic initialization encourages trying
+        # each direction at least once.
+        self._direction_reward = np.full(space.num_directions, 0.25)
+        self._direction_count = np.zeros(space.num_directions)
+        self._rng = np.random.default_rng(seed)
+        self._trials_since_training = 0
+
+    # -- acting -----------------------------------------------------------
+
+    def choose_direction(
+        self, point: Point, visited: set, rng: Optional[np.random.Generator] = None
+    ) -> Optional[Tuple[int, Point]]:
+        """Pick the best unvisited direction from ``point`` by Q-value
+        (epsilon-greedy); None if every neighbor was already visited."""
+        rng = rng or self._rng
+        options = [
+            (d, nb) for d, nb in self.space.neighbors(point) if nb not in visited
+        ]
+        if not options:
+            return None
+        if rng.random() < self.epsilon:
+            return options[int(rng.integers(len(options)))]
+        q_values = self.network.forward(self.space.features(point))
+        scores = q_values + self._direction_reward
+        return max(options, key=lambda item: scores[item[0]])
+
+    # -- learning -----------------------------------------------------------
+
+    def record(self, state: Point, direction: int, next_state: Point, reward: float) -> None:
+        self.transitions.append(Transition(state, direction, next_state, reward))
+        count = self._direction_count[direction] + 1.0
+        self._direction_count[direction] = count
+        mean = self._direction_reward[direction]
+        self._direction_reward[direction] = mean + (reward - mean) / count
+
+    def end_trial(self) -> None:
+        """Call once per exploration trial; trains every ``train_period``
+        and anneals the exploration rate."""
+        self.epsilon = max(self.epsilon * self.epsilon_decay, self.epsilon_min)
+        self._trials_since_training += 1
+        if self._trials_since_training >= self.train_period:
+            self.train()
+            self._trials_since_training = 0
+
+    def train(self, batch_size: int = 64) -> Optional[float]:
+        """One training pass over a sample of recorded transitions."""
+        if not self.transitions:
+            return None
+        sample_size = min(batch_size, len(self.transitions))
+        idx = self._rng.choice(len(self.transitions), size=sample_size, replace=False)
+        batch = [self.transitions[i] for i in idx]
+
+        features = np.stack([self.space.features(t.state) for t in batch])
+        next_features = np.stack([self.space.features(t.next_state) for t in batch])
+        next_q = self.target_network.forward(next_features)
+        current_q = self.network.forward(features)
+
+        targets = current_q.copy()
+        mask = np.zeros_like(targets)
+        for row, transition in enumerate(batch):
+            bootstrap = float(next_q[row].max())
+            targets[row, transition.direction] = transition.reward + self.alpha * bootstrap
+            mask[row, transition.direction] = 1.0
+        loss = self.network.train_batch(features, targets, mask)
+        self.losses.append(loss)
+        # Back up the trained parameters into the stabilizing copy [36].
+        self.target_network.copy_from(self.network)
+        return loss
+
+
+def normalized_reward(perf_from: float, perf_to: float) -> float:
+    """The paper's reward ``(E_e - E_p) / E_p``, guarded for E_p = 0."""
+    if perf_from <= 0.0:
+        return 1.0 if perf_to > 0.0 else 0.0
+    return (perf_to - perf_from) / perf_from

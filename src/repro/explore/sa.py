@@ -1,0 +1,45 @@
+"""Simulated-annealing starting-point selection (§5.1, "Heuristic Method").
+
+From the set H of evaluated points, FlexTensor draws the starting points
+of the next step with probability proportional to
+``exp(-γ (E* - E_p) / E*)`` — points close to the best are likely picks,
+but worse points keep a temperature-controlled chance, which is what lets
+the search escape local optima of the schedule space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..space import Point
+
+
+def selection_probabilities(
+    performances: Sequence[float], gamma: float
+) -> np.ndarray:
+    """Normalized pick probabilities for a set of performance values."""
+    perfs = np.asarray(performances, dtype=np.float64)
+    best = perfs.max() if len(perfs) else 0.0
+    if best <= 0.0:
+        return np.full(len(perfs), 1.0 / max(len(perfs), 1))
+    weights = np.exp(-gamma * (best - perfs) / best)
+    return weights / weights.sum()
+
+
+def select_starting_points(
+    evaluated: Dict[Point, float],
+    count: int,
+    gamma: float,
+    rng: np.random.Generator,
+) -> List[Point]:
+    """Draw ``count`` starting points from H (with replacement when H is
+    small, matching "we can also choose more than one starting point")."""
+    if not evaluated:
+        raise ValueError("cannot select starting points from an empty set")
+    points = list(evaluated.keys())
+    probs = selection_probabilities([evaluated[p] for p in points], gamma)
+    replace = count > len(points)
+    idx = rng.choice(len(points), size=count, replace=replace, p=probs)
+    return [points[i] for i in idx]

@@ -1,0 +1,207 @@
+"""Exploration drivers: the Q-method, the P-method and a random walk.
+
+* **Q-method** (FlexTensor, §5.1) — simulated annealing chooses starting
+  points from the evaluated set H; the Q-learning agent picks *one*
+  direction per starting point; transitions train the network every five
+  trials.
+* **P-method** (§6.5 baseline) — same SA starting points, but evaluates
+  *all* directions of each starting point every trial, no learning.
+* **Random walk** — ablation baseline: uniform random directions.
+
+All tuners share the :class:`~repro.runtime.Evaluator`, so measured
+points, simulated exploration time and convergence curves are directly
+comparable (Figures 6d and 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..runtime import Evaluator
+from ..space import Point, heuristic_seed_points
+from .qlearning import QAgent, normalized_reward
+from .sa import select_starting_points
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one exploration run."""
+
+    best_point: Optional[Point]
+    best_performance: float        # GFLOPS under the device model
+    best_seconds: float            # modeled kernel time of the best point
+    num_measurements: int
+    exploration_seconds: float     # simulated tuning wall-clock
+    curve: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return self.best_point is not None and self.best_performance > 0
+
+
+class BaseTuner:
+    """Shared H-set bookkeeping and result assembly."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        gamma: float = 2.0,
+        num_starting_points: int = 4,
+        seed: int = 0,
+        seed_points: Optional[List[Point]] = None,
+    ):
+        self.evaluator = evaluator
+        self.space = evaluator.space
+        self.gamma = gamma
+        self.num_starting_points = num_starting_points
+        self.rng = np.random.default_rng(seed)
+        self.evaluated: Dict[Point, float] = {}
+        self.visited: Set[Point] = set()
+        self.seed_points: List[Point] = list(seed_points or [])
+
+    # -- helpers -----------------------------------------------------------
+
+    def _evaluate(self, point: Point) -> float:
+        performance = self.evaluator.evaluate(point)
+        self.evaluated[point] = performance
+        self.visited.add(point)
+        return performance
+
+    def _seed(self, num_seeds: int) -> None:
+        # Explicit warm-start points (e.g. from a RecordBook) come first.
+        for point in self.seed_points:
+            self._evaluate(point)
+        for point in heuristic_seed_points(self.space, num_seeds, self.rng):
+            self._evaluate(point)
+
+    def _result(self) -> TuneResult:
+        best_point, best_perf = self.evaluator.best()
+        best_seconds = (
+            self.evaluator.flops / (best_perf * 1e9) if best_perf > 0 else float("inf")
+        )
+        return TuneResult(
+            best_point=best_point,
+            best_performance=best_perf,
+            best_seconds=best_seconds,
+            num_measurements=self.evaluator.num_measurements,
+            exploration_seconds=self.evaluator.clock,
+            curve=self.evaluator.convergence_curve(),
+        )
+
+    def tune(self, trials: int, num_seeds: int = 4) -> TuneResult:
+        raise NotImplementedError
+
+
+class FlexTensorTuner(BaseTuner):
+    """The paper's combined heuristic + machine-learning exploration."""
+
+    name = "q-method"
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        gamma: float = 2.0,
+        num_starting_points: int = 4,
+        steps: int = 4,
+        epsilon: float = 0.5,
+        train_period: int = 5,
+        seed: int = 0,
+        seed_points: Optional[List[Point]] = None,
+    ):
+        super().__init__(evaluator, gamma, num_starting_points, seed, seed_points)
+        self.steps = steps
+        self.agent = QAgent(
+            self.space,
+            epsilon=epsilon,
+            train_period=train_period,
+            seed=seed,
+        )
+
+    def tune(self, trials: int, num_seeds: int = 4) -> TuneResult:
+        self._seed(num_seeds)
+        for _ in range(trials):
+            starts = select_starting_points(
+                self.evaluated, self.num_starting_points, self.gamma, self.rng
+            )
+            for start in starts:
+                # "The searching process can involve multiple steps" (§5.1):
+                # walk up to ``steps`` moves from the starting point, always
+                # continuing from the freshly evaluated neighbor.
+                current = start
+                for _step in range(self.steps):
+                    choice = self.agent.choose_direction(current, self.visited, self.rng)
+                    if choice is None:
+                        break
+                    direction, neighbor = choice
+                    perf_from = self.evaluated[current]
+                    perf_to = self._evaluate(neighbor)
+                    self.agent.record(
+                        current, direction, neighbor,
+                        normalized_reward(perf_from, perf_to),
+                    )
+                    current = neighbor
+            self.agent.end_trial()
+        return self._result()
+
+
+class PMethodTuner(BaseTuner):
+    """Exhaustive-direction exploration (the paper's P-method, §6.5)."""
+
+    name = "p-method"
+
+    def tune(self, trials: int, num_seeds: int = 4) -> TuneResult:
+        self._seed(num_seeds)
+        for _ in range(trials):
+            starts = select_starting_points(
+                self.evaluated, self.num_starting_points, self.gamma, self.rng
+            )
+            for start in starts:
+                for _direction, neighbor in self.space.neighbors(start):
+                    if neighbor in self.visited:
+                        continue
+                    self._evaluate(neighbor)
+        return self._result()
+
+
+class RandomWalkTuner(BaseTuner):
+    """Ablation baseline: SA starting points, uniformly random directions."""
+
+    name = "random-walk"
+
+    def tune(self, trials: int, num_seeds: int = 4) -> TuneResult:
+        self._seed(num_seeds)
+        for _ in range(trials):
+            starts = select_starting_points(
+                self.evaluated, self.num_starting_points, self.gamma, self.rng
+            )
+            for start in starts:
+                options = [
+                    (d, nb)
+                    for d, nb in self.space.neighbors(start)
+                    if nb not in self.visited
+                ]
+                if not options:
+                    continue
+                _direction, neighbor = options[int(self.rng.integers(len(options)))]
+                self._evaluate(neighbor)
+        return self._result()
+
+
+class RandomSampleTuner(BaseTuner):
+    """Ablation baseline: uniform random sampling of the flat space —
+    what the search degenerates to without the neighborhood
+    rearrangement of §4.2."""
+
+    name = "random-sample"
+
+    def tune(self, trials: int, num_seeds: int = 4) -> TuneResult:
+        self._seed(num_seeds)
+        for _ in range(trials):
+            for _ in range(self.num_starting_points):
+                self._evaluate(self.space.random_point(self.rng))
+        return self._result()

@@ -1,0 +1,5 @@
+"""Mini-graph construction and traversal."""
+
+from .minigraph import MiniGraph, get_graph
+
+__all__ = ["MiniGraph", "get_graph"]

@@ -1,0 +1,99 @@
+"""The mini-graph of a tensor computation (§4.1).
+
+Nodes are nested-loop operations (:class:`~repro.ir.ComputeOp`) and leaves
+are placeholders; edges carry tensors.  If node P's output tensor is read
+by node Q, Q is a *consumer* of P.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..ir import ComputeOp, Operation, PlaceholderOp, Tensor
+
+
+class MiniGraph:
+    """A DAG of operations rooted at one or more output tensors."""
+
+    def __init__(self, outputs: Sequence[Tensor]):
+        if isinstance(outputs, Tensor):
+            outputs = [outputs]
+        self.outputs: Tuple[Tensor, ...] = tuple(outputs)
+        if not self.outputs:
+            raise ValueError("a mini-graph needs at least one output tensor")
+        self._post_order: List[Operation] = []
+        self._consumers: Dict[Operation, List[Operation]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        visited = set()
+
+        def visit(op: Operation) -> None:
+            if id(op) in visited:
+                return
+            visited.add(id(op))
+            self._consumers.setdefault(op, [])
+            for tensor in op.input_tensors:
+                visit(tensor.op)
+                self._consumers[tensor.op].append(op)
+            self._post_order.append(op)
+
+        for tensor in self.outputs:
+            visit(tensor.op)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """All operations in post order (inputs before consumers)."""
+        return tuple(self._post_order)
+
+    @property
+    def compute_ops(self) -> Tuple[ComputeOp, ...]:
+        """Only the nested-loop nodes, post order (Algorithm 1 line 2)."""
+        return tuple(op for op in self._post_order if isinstance(op, ComputeOp))
+
+    @property
+    def placeholders(self) -> Tuple[PlaceholderOp, ...]:
+        """The graph's input (leaf) operations."""
+        return tuple(op for op in self._post_order if isinstance(op, PlaceholderOp))
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of mini-graph nodes, placeholders included (Table 3 #node
+        counts GEMM as 3: op A, op B, and the GEMM node itself)."""
+        return len(self._post_order)
+
+    def consumers(self, op: Operation) -> Tuple[Operation, ...]:
+        """Operations that read ``op``'s output tensor (#cs in §4.1)."""
+        return tuple(self._consumers[op])
+
+    def is_output(self, op: Operation) -> bool:
+        """True when ``op`` produces one of the graph's output tensors."""
+        return any(t.op is op for t in self.outputs)
+
+    def post_order_traverse(self) -> Iterator[Operation]:
+        """Algorithm 1, line 2: yield nodes bottom-up."""
+        return iter(self._post_order)
+
+    @property
+    def main_op(self) -> ComputeOp:
+        """The root compute node (the final output's producer).
+
+        For single-output graphs this is the node whose schedule dominates
+        performance; helper nodes (padding, expansion) are typically
+        inlined into it.
+        """
+        op = self.outputs[0].op
+        if not isinstance(op, ComputeOp):
+            raise ValueError("graph output is a placeholder; nothing to schedule")
+        return op
+
+    def __repr__(self):
+        names = " -> ".join(op.name for op in self._post_order)
+        return f"MiniGraph({names})"
+
+
+def get_graph(output) -> MiniGraph:
+    """Build the mini-graph from output tensor(s) (Algorithm 1, line 1)."""
+    return MiniGraph(output if isinstance(output, (list, tuple)) else [output])

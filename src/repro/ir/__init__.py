@@ -1,0 +1,75 @@
+"""Tensor-expression IR: the substrate under the FlexTensor reproduction.
+
+Public surface mirrors the small core of TVM's tensor-expression language
+that FlexTensor relies on: ``placeholder``, ``compute``, ``reduce_axis`` and
+the ``Reduce`` combinators, plus expression utilities.
+"""
+
+from .expr import (
+    Add,
+    Div,
+    And,
+    BinaryOp,
+    Compare,
+    Condition,
+    Expr,
+    FloatImm,
+    FloorDiv,
+    IntImm,
+    IterVar,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Or,
+    Reduce,
+    REDUCE,
+    SPATIAL,
+    Select,
+    Sub,
+    TensorRef,
+    Var,
+    all_of,
+    fresh_name,
+    wrap,
+)
+from .tensor import ComputeOp, Operation, PlaceholderOp, Tensor, compute, placeholder, reduce_axis
+from .unary import Unary, exp, log, relu, sqrt, tanh
+from .simplify import node_count, simplify
+from .evalexpr import EvalError, affine_coefficients, evaluate, evaluate_condition, stride_of
+from .printer import format_condition, format_expr, format_operation, format_tensor
+from .visitors import (
+    collect_iter_vars,
+    collect_tensor_refs,
+    count_flops_per_point,
+    same_structure,
+    walk,
+)
+
+
+def sum_reduce(body, axes) -> Reduce:
+    """Sum ``body`` over the given reduce axes (TVM's ``te.sum``)."""
+    if isinstance(axes, IterVar):
+        axes = (axes,)
+    return Reduce("sum", body, axes)
+
+
+def max_reduce(body, axes) -> Reduce:
+    """Max-reduce ``body`` over the given reduce axes."""
+    if isinstance(axes, IterVar):
+        axes = (axes,)
+    return Reduce("max", body, axes)
+
+
+__all__ = [
+    "Add", "And", "BinaryOp", "Compare", "Condition", "ComputeOp", "EvalError",
+    "Div", "Expr", "FloatImm", "FloorDiv", "IntImm", "IterVar", "Max", "Min", "Mod",
+    "Mul", "Operation", "Or", "PlaceholderOp", "REDUCE", "Reduce", "SPATIAL",
+    "Select", "Sub", "Tensor", "TensorRef", "Var", "affine_coefficients",
+    "all_of", "collect_iter_vars", "collect_tensor_refs", "compute",
+    "count_flops_per_point", "evaluate", "evaluate_condition", "format_condition",
+    "format_expr", "format_operation", "format_tensor", "fresh_name",
+    "max_reduce", "placeholder", "reduce_axis", "same_structure", "stride_of",
+    "sum_reduce", "walk", "wrap",
+    "Unary", "exp", "log", "node_count", "relu", "simplify", "sqrt", "tanh",
+]

@@ -1,0 +1,173 @@
+"""Scalar evaluation of expressions and affine index analysis.
+
+The evaluator is the semantic ground truth for the whole stack: the loop
+nest interpreter (``repro.codegen.interp``), the naive reference executor
+and the affine access analysis used by the machine models all reduce to
+evaluating these AST nodes with a concrete environment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .expr import (
+    Add,
+    Div,
+    And,
+    Compare,
+    Condition,
+    Expr,
+    FloatImm,
+    FloorDiv,
+    IntImm,
+    IterVar,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Or,
+    Reduce,
+    Select,
+    Sub,
+    TensorRef,
+    Var,
+)
+
+
+class EvalError(Exception):
+    """Raised when an expression cannot be evaluated in the given context."""
+
+
+def evaluate(expr: Expr, env: Dict, tensors: Optional[Dict] = None):
+    """Evaluate ``expr`` given variable bindings and tensor buffers.
+
+    ``env`` maps :class:`Var`/:class:`IterVar` objects (or their names) to
+    numbers; ``tensors`` maps :class:`Tensor` objects to numpy arrays.  The
+    result is a Python number.
+    """
+    if isinstance(expr, IntImm):
+        return expr.value
+    if isinstance(expr, FloatImm):
+        return expr.value
+    if isinstance(expr, (Var, IterVar)):
+        if expr in env:
+            return env[expr]
+        if expr.name in env:
+            return env[expr.name]
+        raise EvalError(f"unbound variable {expr.name!r}")
+    if isinstance(expr, Add):
+        return evaluate(expr.a, env, tensors) + evaluate(expr.b, env, tensors)
+    if isinstance(expr, Sub):
+        return evaluate(expr.a, env, tensors) - evaluate(expr.b, env, tensors)
+    if isinstance(expr, Mul):
+        return evaluate(expr.a, env, tensors) * evaluate(expr.b, env, tensors)
+    if isinstance(expr, FloorDiv):
+        return evaluate(expr.a, env, tensors) // evaluate(expr.b, env, tensors)
+    if isinstance(expr, Mod):
+        return evaluate(expr.a, env, tensors) % evaluate(expr.b, env, tensors)
+    if isinstance(expr, Div):
+        return evaluate(expr.a, env, tensors) / evaluate(expr.b, env, tensors)
+    if isinstance(expr, Min):
+        return min(evaluate(expr.a, env, tensors), evaluate(expr.b, env, tensors))
+    if isinstance(expr, Max):
+        return max(evaluate(expr.a, env, tensors), evaluate(expr.b, env, tensors))
+    if isinstance(expr, Select):
+        if evaluate_condition(expr.condition, env, tensors):
+            return evaluate(expr.then_value, env, tensors)
+        return evaluate(expr.else_value, env, tensors)
+    from .unary import Unary
+
+    if isinstance(expr, Unary):
+        return expr.apply(evaluate(expr.a, env, tensors))
+    if isinstance(expr, TensorRef):
+        if tensors is None or expr.tensor not in tensors:
+            raise EvalError(f"no buffer bound for tensor {expr.tensor.name!r}")
+        idx = tuple(int(evaluate(i, env, tensors)) for i in expr.indices)
+        return tensors[expr.tensor][idx]
+    if isinstance(expr, Reduce):
+        raise EvalError("Reduce nodes must be handled by the loop interpreter")
+    raise EvalError(f"unknown expression node {expr!r}")
+
+
+def evaluate_condition(cond: Condition, env: Dict, tensors: Optional[Dict] = None) -> bool:
+    """Evaluate a boolean condition under the environment."""
+    if isinstance(cond, Compare):
+        a = evaluate(cond.a, env, tensors)
+        b = evaluate(cond.b, env, tensors)
+        return {
+            "<": a < b,
+            "<=": a <= b,
+            ">": a > b,
+            ">=": a >= b,
+            "==": a == b,
+            "!=": a != b,
+        }[cond.op]
+    if isinstance(cond, And):
+        return evaluate_condition(cond.a, env, tensors) and evaluate_condition(cond.b, env, tensors)
+    if isinstance(cond, Or):
+        return evaluate_condition(cond.a, env, tensors) or evaluate_condition(cond.b, env, tensors)
+    raise EvalError(f"unknown condition node {cond!r}")
+
+
+def affine_coefficients(index: Expr, variables: Sequence[IterVar]) -> Optional[List[int]]:
+    """Coefficients ``[c1..cn, c0]`` if ``index == c0 + sum(ci * vi)``.
+
+    Returns ``None`` when the index is not affine in ``variables`` (e.g. it
+    uses division or modulo on them).  Detection is by numeric probing: the
+    constant is the value at the origin, each coefficient is the unit-step
+    delta, and a combined probe rejects non-affine expressions.
+    """
+    from .visitors import collect_iter_vars
+
+    variables = list(variables)
+    # Variables of the expression that are not being probed are pinned to 0
+    # so partial probes (e.g. stride of one axis) still evaluate.
+    zero_env = {v: 0 for v in collect_iter_vars(index)}
+    zero_env.update({v: 0 for v in variables})
+    try:
+        constant = evaluate(index, zero_env)
+        coefficients = []
+        for var in variables:
+            env = dict(zero_env)
+            env[var] = 1
+            coefficients.append(evaluate(index, env) - constant)
+        # Verification probe: all variables at 2 simultaneously.
+        env = dict(zero_env)
+        env.update({v: 2 for v in variables})
+        predicted = constant + 2 * sum(coefficients)
+        if evaluate(index, env) != predicted:
+            return None
+        # Second probe with distinct values to catch cross terms.
+        env = dict(zero_env)
+        env.update({v: i + 1 for i, v in enumerate(variables)})
+        predicted = constant + sum(c * (i + 1) for i, c in enumerate(coefficients))
+        if evaluate(index, env) != predicted:
+            return None
+        # Far probe at each variable's extent boundary: catches modulo and
+        # flooring that look linear near the origin.
+        far = {v: max(getattr(v, "extent", 8) - 1, 3) for v in variables}
+        env = dict(zero_env)
+        env.update(far)
+        predicted = constant + sum(c * far[v] for v, c in zip(variables, coefficients))
+        if evaluate(index, env) != predicted:
+            return None
+    except EvalError:
+        return None
+    return coefficients + [constant]
+
+
+def stride_of(index_exprs: Sequence[Expr], shape: Sequence[int], var: IterVar) -> Optional[int]:
+    """Flat-memory stride of ``var`` in a row-major access ``T[index_exprs]``.
+
+    Returns ``None`` if any index is non-affine in ``var``; returns 0 when
+    the variable does not appear (a reuse dimension).
+    """
+    stride = 0
+    row_major = 1
+    for dim in range(len(shape) - 1, -1, -1):
+        coeffs = affine_coefficients(index_exprs[dim], [var])
+        if coeffs is None:
+            return None
+        stride += coeffs[0] * row_major
+        row_major *= shape[dim]
+    return stride

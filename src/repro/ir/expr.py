@@ -1,0 +1,352 @@
+"""Expression AST for the tensor-expression IR.
+
+This is the substrate that replaces TVM's tensor-expression language in the
+FlexTensor reproduction.  Expressions are immutable trees built from
+integer/float immediates, loop variables, arithmetic operators, tensor
+element reads and reductions.  The schedule layer never rewrites these
+trees; it only rearranges the loop nests that iterate them, so the AST can
+stay small and simple.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Tuple
+
+_counter = itertools.count()
+
+
+def fresh_name(prefix: str) -> str:
+    """Return a unique name with the given prefix (e.g. ``i.3``)."""
+    return f"{prefix}.{next(_counter)}"
+
+
+class Expr:
+    """Base class of all expression nodes.
+
+    Arithmetic operators are overloaded so compute definitions read like
+    plain math, e.g. ``A[i, k] * B[k, j]``.
+    """
+
+    __slots__ = ()
+
+    def __add__(self, other):
+        return Add(self, wrap(other))
+
+    def __radd__(self, other):
+        return Add(wrap(other), self)
+
+    def __sub__(self, other):
+        return Sub(self, wrap(other))
+
+    def __rsub__(self, other):
+        return Sub(wrap(other), self)
+
+    def __mul__(self, other):
+        return Mul(self, wrap(other))
+
+    def __rmul__(self, other):
+        return Mul(wrap(other), self)
+
+    def __floordiv__(self, other):
+        return FloorDiv(self, wrap(other))
+
+    def __rfloordiv__(self, other):
+        return FloorDiv(wrap(other), self)
+
+    def __mod__(self, other):
+        return Mod(self, wrap(other))
+
+    def __rmod__(self, other):
+        return Mod(wrap(other), self)
+
+    def __truediv__(self, other):
+        return Div(self, wrap(other))
+
+    def __rtruediv__(self, other):
+        return Div(wrap(other), self)
+
+    def __neg__(self):
+        return Sub(IntImm(0), self)
+
+    # Expressions are compared by identity by default; structural equality
+    # is provided by ``repro.ir.visitors.same_structure`` where needed.
+
+
+def wrap(value) -> Expr:
+    """Coerce a Python number into an immediate expression node."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("boolean values are not valid tensor expressions")
+    if isinstance(value, int):
+        return IntImm(value)
+    if isinstance(value, float):
+        return FloatImm(value)
+    raise TypeError(f"cannot use {type(value).__name__} in a tensor expression")
+
+
+class IntImm(Expr):
+    """Integer immediate."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def __repr__(self):
+        return f"IntImm({self.value})"
+
+
+class FloatImm(Expr):
+    """Floating-point immediate."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def __repr__(self):
+        return f"FloatImm({self.value})"
+
+
+class Var(Expr):
+    """A named scalar variable (loop index)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self):
+        return f"Var({self.name})"
+
+
+SPATIAL = "spatial"
+REDUCE = "reduce"
+
+
+class IterVar(Expr):
+    """An iteration variable with a known extent.
+
+    ``kind`` distinguishes spatial loops (parallelizable, one per output
+    dimension) from reduce loops (carry a dependence; §4.1 of the paper).
+    An :class:`IterVar` may be used directly inside index expressions.
+    """
+
+    __slots__ = ("name", "extent", "kind")
+
+    def __init__(self, extent: int, name: str, kind: str = SPATIAL):
+        if kind not in (SPATIAL, REDUCE):
+            raise ValueError(f"unknown iter-var kind: {kind!r}")
+        if extent <= 0:
+            raise ValueError(f"iter var {name!r} must have positive extent, got {extent}")
+        self.name = name
+        self.extent = int(extent)
+        self.kind = kind
+
+    @property
+    def is_reduce(self) -> bool:
+        """True for reduction axes (data-dependent loops)."""
+        return self.kind == REDUCE
+
+    def __repr__(self):
+        return f"IterVar({self.name}, extent={self.extent}, {self.kind})"
+
+
+class BinaryOp(Expr):
+    """Base for binary arithmetic nodes."""
+
+    __slots__ = ("a", "b")
+    symbol = "?"
+
+    def __init__(self, a: Expr, b: Expr):
+        self.a = wrap(a)
+        self.b = wrap(b)
+
+    def __repr__(self):
+        return f"({self.a!r} {self.symbol} {self.b!r})"
+
+
+class Add(BinaryOp):
+    """Elementwise/scalar addition."""
+    __slots__ = ()
+    symbol = "+"
+
+
+class Sub(BinaryOp):
+    """Subtraction."""
+    __slots__ = ()
+    symbol = "-"
+
+
+class Mul(BinaryOp):
+    """Multiplication."""
+    __slots__ = ()
+    symbol = "*"
+
+
+class FloorDiv(BinaryOp):
+    """Integer (flooring) division — index arithmetic."""
+    __slots__ = ()
+    symbol = "//"
+
+
+class Mod(BinaryOp):
+    """Integer modulo — index arithmetic."""
+    __slots__ = ()
+    symbol = "%"
+
+
+class Div(BinaryOp):
+    """True (floating-point) division — for normalization epilogues."""
+
+    __slots__ = ()
+    symbol = "/"
+
+
+class Min(BinaryOp):
+    """Elementwise minimum."""
+    __slots__ = ()
+    symbol = "min"
+
+
+class Max(BinaryOp):
+    """Elementwise maximum (also the rectifier's core)."""
+    __slots__ = ()
+    symbol = "max"
+
+
+class Select(Expr):
+    """``condition ? then_value : else_value`` — used for padding regions."""
+
+    __slots__ = ("condition", "then_value", "else_value")
+
+    def __init__(self, condition: "Condition", then_value, else_value):
+        self.condition = condition
+        self.then_value = wrap(then_value)
+        self.else_value = wrap(else_value)
+
+    def __repr__(self):
+        return f"Select({self.condition!r}, {self.then_value!r}, {self.else_value!r})"
+
+
+class Condition:
+    """A boolean combination of integer comparisons.
+
+    Kept separate from :class:`Expr` so that conditions can only appear
+    inside :class:`Select`, which keeps lowering straightforward.
+    """
+
+    __slots__ = ()
+
+    def __and__(self, other):
+        return And(self, other)
+
+    def __or__(self, other):
+        return Or(self, other)
+
+
+class Compare(Condition):
+    """An integer comparison (one of < <= > >= == !=)."""
+    __slots__ = ("op", "a", "b")
+    _OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+    def __init__(self, op: str, a, b):
+        if op not in self._OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        self.op = op
+        self.a = wrap(a)
+        self.b = wrap(b)
+
+    def __repr__(self):
+        return f"Compare({self.a!r} {self.op} {self.b!r})"
+
+
+class And(Condition):
+    """Logical conjunction of two conditions."""
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: Condition, b: Condition):
+        self.a = a
+        self.b = b
+
+    def __repr__(self):
+        return f"And({self.a!r}, {self.b!r})"
+
+
+class Or(Condition):
+    """Logical disjunction of two conditions."""
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: Condition, b: Condition):
+        self.a = a
+        self.b = b
+
+    def __repr__(self):
+        return f"Or({self.a!r}, {self.b!r})"
+
+
+def all_of(conditions: Iterable[Condition]) -> Condition:
+    """Conjunction of one or more conditions."""
+    conditions = list(conditions)
+    if not conditions:
+        raise ValueError("all_of requires at least one condition")
+    result = conditions[0]
+    for cond in conditions[1:]:
+        result = And(result, cond)
+    return result
+
+
+class TensorRef(Expr):
+    """An element read ``tensor[i0, i1, ...]``."""
+
+    __slots__ = ("tensor", "indices")
+
+    def __init__(self, tensor, indices: Tuple[Expr, ...]):
+        self.tensor = tensor
+        self.indices = tuple(wrap(i) for i in indices)
+        if len(self.indices) != len(tensor.shape):
+            raise ValueError(
+                f"tensor {tensor.name!r} has {len(tensor.shape)} dims, "
+                f"indexed with {len(self.indices)}"
+            )
+
+    def __repr__(self):
+        idx = ", ".join(repr(i) for i in self.indices)
+        return f"{self.tensor.name}[{idx}]"
+
+
+SUM_COMBINER = "sum"
+MAX_COMBINER = "max"
+
+
+class Reduce(Expr):
+    """A reduction of ``body`` over ``axes`` with a named combiner.
+
+    Only appears at the top of a compute body (like TVM's ``te.sum``).
+    """
+
+    __slots__ = ("combiner", "body", "axes")
+
+    def __init__(self, combiner: str, body: Expr, axes):
+        if combiner not in (SUM_COMBINER, MAX_COMBINER):
+            raise ValueError(f"unknown combiner {combiner!r}")
+        axes = tuple(axes)
+        if not axes:
+            raise ValueError("reduction must have at least one axis")
+        for axis in axes:
+            if not isinstance(axis, IterVar) or not axis.is_reduce:
+                raise ValueError(f"reduction axis {axis!r} must be a reduce IterVar")
+        self.combiner = combiner
+        self.body = wrap(body)
+        self.axes = axes
+
+    @property
+    def identity(self) -> float:
+        """The combiner's identity element (0 for sum, -inf for max)."""
+        return 0.0 if self.combiner == SUM_COMBINER else float("-inf")
+
+    def __repr__(self):
+        names = ", ".join(a.name for a in self.axes)
+        return f"Reduce({self.combiner}, {self.body!r}, axes=[{names}])"

@@ -1,0 +1,185 @@
+"""Tensors and the operations that produce them.
+
+A :class:`Tensor` is a symbolic multi-dimensional array with a fixed shape.
+It is produced either by a :class:`PlaceholderOp` (an input) or by a
+:class:`ComputeOp` (a nested-loop node in the paper's mini-graph, §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from .expr import (
+    Expr,
+    IterVar,
+    Reduce,
+    SPATIAL,
+    TensorRef,
+    fresh_name,
+    wrap,
+)
+
+
+class Operation:
+    """Base class for tensor-producing operations (mini-graph nodes)."""
+
+    name: str
+
+    @property
+    def input_tensors(self) -> Tuple["Tensor", ...]:
+        """Tensors this operation reads (mini-graph in-edges)."""
+        raise NotImplementedError
+
+    @property
+    def output(self) -> "Tensor":
+        """The tensor this operation produces."""
+        raise NotImplementedError
+
+
+class Tensor:
+    """A symbolic dense tensor.
+
+    Indexing a tensor with loop variables produces a :class:`TensorRef`
+    expression, so compute bodies read naturally:
+    ``C = compute((n, m), lambda i, j: A[i, j] + B[i, j])``.
+    """
+
+    __slots__ = ("shape", "name", "dtype", "op")
+
+    def __init__(self, shape: Sequence[int], name: str, dtype: str, op: Operation):
+        self.shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in self.shape):
+            raise ValueError(f"tensor {name!r} has non-positive dimension: {self.shape}")
+        self.name = name
+        self.dtype = dtype
+        self.op = op
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        total = 1
+        for s in self.shape:
+            total *= s
+        return total
+
+    def __getitem__(self, indices) -> TensorRef:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        return TensorRef(self, indices)
+
+    def __repr__(self):
+        return f"Tensor({self.name}, shape={self.shape}, {self.dtype})"
+
+
+class PlaceholderOp(Operation):
+    """An external input tensor (a leaf node of the mini-graph)."""
+
+    def __init__(self, shape: Sequence[int], name: str, dtype: str):
+        self.name = name
+        self._output = Tensor(shape, name, dtype, self)
+
+    @property
+    def input_tensors(self) -> Tuple[Tensor, ...]:
+        """Placeholders read nothing."""
+        return ()
+
+    @property
+    def output(self) -> Tensor:
+        """The tensor this operation produces."""
+        return self._output
+
+    def __repr__(self):
+        return f"PlaceholderOp({self.name})"
+
+
+class ComputeOp(Operation):
+    """One nested-loop node: ``O[i1..iM] = F(I1, .., IN)`` (§4.1).
+
+    ``axes`` are the spatial loops (one per output dimension) and
+    ``reduce_axes`` the reduce loops referenced by a :class:`Reduce` body.
+    """
+
+    def __init__(self, shape: Sequence[int], body: Expr, axes: Sequence[IterVar], name: str, dtype: str):
+        self.name = name
+        self.body = wrap(body)
+        self.axes = tuple(axes)
+        if len(self.axes) != len(shape):
+            raise ValueError("one spatial axis per output dimension is required")
+        if isinstance(self.body, Reduce):
+            self.reduce_axes = self.body.axes
+        else:
+            self.reduce_axes = ()
+        self._output = Tensor(shape, name, dtype, self)
+        self._inputs = _collect_input_tensors(self.body, exclude=self._output)
+
+    @property
+    def input_tensors(self) -> Tuple[Tensor, ...]:
+        """Distinct tensors read by the body, in first-use order."""
+        return self._inputs
+
+    @property
+    def output(self) -> Tensor:
+        """The tensor this operation produces."""
+        return self._output
+
+    @property
+    def all_axes(self) -> Tuple[IterVar, ...]:
+        """Spatial axes followed by reduce axes."""
+        return self.axes + tuple(self.reduce_axes)
+
+    def __repr__(self):
+        return f"ComputeOp({self.name}, spatial={len(self.axes)}, reduce={len(self.reduce_axes)})"
+
+
+def _collect_input_tensors(body: Expr, exclude: Tensor) -> Tuple[Tensor, ...]:
+    """Find the distinct tensors read by ``body``, in first-use order."""
+    from .visitors import collect_tensor_refs
+
+    seen = []
+    for ref in collect_tensor_refs(body):
+        tensor = ref.tensor
+        if tensor is exclude:
+            continue
+        if all(tensor is not t for t in seen):
+            seen.append(tensor)
+    return tuple(seen)
+
+
+def placeholder(shape: Sequence[int], name: str = None, dtype: str = "float32") -> Tensor:
+    """Declare an input tensor of the given shape."""
+    if name is None:
+        name = fresh_name("data")
+    return PlaceholderOp(shape, name, dtype).output
+
+
+def compute(
+    shape: Sequence[int],
+    fcompute: Callable[..., Expr],
+    name: str = None,
+    dtype: str = "float32",
+) -> Tensor:
+    """Define a tensor point-wise: ``fcompute(i0, .., iM)`` gives element (i0..iM).
+
+    This mirrors TVM's ``te.compute``; ``fcompute`` receives one spatial
+    :class:`IterVar` per output dimension and returns the body expression
+    (optionally a :class:`Reduce`).
+    """
+    if name is None:
+        name = fresh_name("compute")
+    axes = tuple(
+        IterVar(extent, f"{name}_i{dim}", SPATIAL) for dim, extent in enumerate(shape)
+    )
+    body = fcompute(*axes)
+    return ComputeOp(shape, body, axes, name, dtype).output
+
+
+def reduce_axis(extent: int, name: str = None) -> IterVar:
+    """Declare a reduction axis of the given extent."""
+    if name is None:
+        name = fresh_name("r")
+    return IterVar(extent, name, kind="reduce")

@@ -1,0 +1,63 @@
+"""Unary math nodes: exp, log, sqrt, tanh, and the rectifier.
+
+These extend the expression AST beyond Table 1's multiply-accumulate
+operators so that softmax / normalization-style graphs (chains of
+reduce nodes and elementwise epilogues) can be expressed and scheduled.
+Kept in a separate module so the core AST stays the paper's minimal set.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .expr import Expr, Max, wrap
+
+_FUNCTIONS = {
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "tanh": math.tanh,
+}
+
+
+class Unary(Expr):
+    """A named elementwise function applied to one operand."""
+
+    __slots__ = ("fn", "a")
+
+    def __init__(self, fn: str, a):
+        if fn not in _FUNCTIONS:
+            raise ValueError(f"unknown unary function {fn!r}; have {sorted(_FUNCTIONS)}")
+        self.fn = fn
+        self.a = wrap(a)
+
+    def apply(self, value: float) -> float:
+        return _FUNCTIONS[self.fn](value)
+
+    def __repr__(self):
+        return f"{self.fn}({self.a!r})"
+
+
+def exp(a) -> Unary:
+    """Elementwise e**a."""
+    return Unary("exp", a)
+
+
+def log(a) -> Unary:
+    """Elementwise natural logarithm."""
+    return Unary("log", a)
+
+
+def sqrt(a) -> Unary:
+    """Elementwise square root."""
+    return Unary("sqrt", a)
+
+
+def tanh(a) -> Unary:
+    """Elementwise hyperbolic tangent."""
+    return Unary("tanh", a)
+
+
+def relu(a) -> Expr:
+    """``max(a, 0)`` — expressed with the existing Max node."""
+    return Max(wrap(a), wrap(0.0))

@@ -1,0 +1,87 @@
+"""FPGA resource reporting — the utilization summary an HLS flow prints.
+
+The §5.2 model bounds schedules by DSP and BRAM budgets;
+:func:`fpga_resource_report` exposes the same accounting as a structured
+report so users (and the FPGA benchmark) can see *why* a configuration is
+legal or rejected, the way a synthesis report would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..codegen import tile_footprint
+from ..schedule import Scheduled
+from .specs import FpgaSpec
+
+
+@dataclass(frozen=True)
+class FpgaResourceReport:
+    """Utilization of one scheduled design against the device budget."""
+
+    num_pes: int
+    dsps_used: int
+    dsps_available: int
+    bram_bytes_used: int
+    bram_bytes_available: int
+    partition_factor: int
+    pipeline_stages: int
+
+    @property
+    def dsp_utilization(self) -> float:
+        """Fraction of the device's DSP slices consumed."""
+        return self.dsps_used / self.dsps_available
+
+    @property
+    def bram_utilization(self) -> float:
+        """Fraction of the device's block RAM consumed."""
+        return self.bram_bytes_used / self.bram_bytes_available
+
+    @property
+    def fits(self) -> bool:
+        """True when the design respects both DSP and BRAM budgets."""
+        return self.dsp_utilization <= 1.0 and self.bram_utilization <= 1.0
+
+    def summary(self) -> str:
+        """One-line synthesis-report-style utilization summary."""
+        return (
+            f"PEs={self.num_pes} "
+            f"DSP {self.dsps_used}/{self.dsps_available} "
+            f"({self.dsp_utilization:.0%}), "
+            f"BRAM {self.bram_bytes_used // 1024}KiB/"
+            f"{self.bram_bytes_available // 1024}KiB "
+            f"({self.bram_utilization:.0%}), "
+            f"partition x{self.partition_factor}, "
+            f"{self.pipeline_stages}-stage pipeline"
+            + ("" if self.fits else "  [OVER BUDGET]")
+        )
+
+
+def fpga_resource_report(scheduled: Scheduled, spec: FpgaSpec) -> FpgaResourceReport:
+    """Account the DSP/BRAM usage of an FPGA schedule (§5.2 constraints)."""
+    if scheduled.target != "fpga":
+        raise ValueError(f"expected an FPGA schedule, got {scheduled.target!r}")
+    config = scheduled.config
+    op = scheduled.op
+    num_pes = scheduled.parallel_extent
+
+    pe_tile: Dict = {}
+    for axis, factors in zip(op.axes, config.spatial_factors):
+        pe_tile[axis] = factors[1]
+    for axis in op.reduce_axes:
+        pe_tile[axis] = axis.extent
+    buffer_lines = max(config.fpga_buffer_lines, 1)
+    bram_bytes = sum(
+        tile_footprint(op, tensor, pe_tile) * 4 * buffer_lines
+        for tensor in op.input_tensors
+    )
+    return FpgaResourceReport(
+        num_pes=num_pes,
+        dsps_used=num_pes * spec.dsps_per_pe,
+        dsps_available=spec.num_dsps,
+        bram_bytes_used=bram_bytes,
+        bram_bytes_available=spec.bram_kb * 1024,
+        partition_factor=config.fpga_partition,
+        pipeline_stages=config.fpga_pipeline,
+    )

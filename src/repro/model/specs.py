@@ -1,0 +1,140 @@
+"""Device specifications for the simulated heterogeneous testbed.
+
+These mirror the paper's evaluation hardware (§6.1): NVIDIA V100, P100 and
+Titan X (Pascal) GPUs, the Intel Xeon E5-2699 v4 CPU, and the Xilinx VU9P
+FPGA.  Numbers are the public datasheet figures; they parameterize the
+analytical performance models that substitute for real measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """CUDA-class accelerator."""
+
+    name: str
+    num_sms: int
+    peak_gflops: float            # fp32
+    bandwidth_gbs: float          # device memory
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    shared_mem_per_block: int = 48 * 1024
+    shared_mem_per_sm: int = 96 * 1024
+    registers_per_sm: int = 65536
+    max_registers_per_thread: int = 255
+    kernel_launch_us: float = 5.0
+    compile_seconds: float = 0.8  # simulated TVM build time per candidate
+    run_repeats: int = 5          # timed executions per measurement
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Multicore SIMD CPU."""
+
+    name: str
+    num_cores: int
+    ghz: float
+    vector_lanes: int             # fp32 lanes per SIMD op (AVX2 = 8)
+    fma_units: int                # FMA pipes per core
+    bandwidth_gbs: float
+    l1_kb: int = 32
+    l2_kb: int = 256
+    l3_mb: float = 55.0
+    thread_spawn_us: float = 20.0
+    compile_seconds: float = 0.5
+    run_repeats: int = 5
+
+    @property
+    def peak_gflops_per_core(self) -> float:
+        """Theoretical per-core fp32 throughput (lanes x FMA x clock)."""
+        # lanes * 2 (FMA = mul+add) * units * GHz
+        return self.vector_lanes * 2 * self.fma_units * self.ghz
+
+    @property
+    def peak_gflops(self) -> float:
+        """Theoretical chip-wide fp32 throughput."""
+        return self.peak_gflops_per_core * self.num_cores
+
+
+@dataclass(frozen=True)
+class FpgaSpec:
+    """FPGA accelerator card programmed through HLS/OpenCL."""
+
+    name: str
+    num_dsps: int
+    bram_kb: int                  # on-chip block RAM
+    ddr_bandwidth_gbs: float      # single bank
+    max_partitions: int = 16      # memory partition factor limit
+    mhz: float = 250.0
+    dsps_per_pe: int = 5          # fp32 multiply-add cost in DSP slices
+    synthesis_seconds: float = 3600.0   # why we use the analytical model
+    model_query_seconds: float = 0.05   # cost of one §5.2 model evaluation
+
+    @property
+    def max_pes(self) -> int:
+        """Largest PE array the DSP budget allows."""
+        return self.num_dsps // self.dsps_per_pe
+
+
+V100 = GpuSpec(
+    name="V100",
+    num_sms=80,
+    peak_gflops=15700.0,
+    bandwidth_gbs=900.0,
+    shared_mem_per_sm=96 * 1024,
+)
+
+P100 = GpuSpec(
+    name="P100",
+    num_sms=56,
+    peak_gflops=9300.0,
+    bandwidth_gbs=732.0,
+    shared_mem_per_sm=64 * 1024,
+)
+
+TITAN_X = GpuSpec(
+    name="TitanX",
+    num_sms=28,
+    peak_gflops=10970.0,
+    bandwidth_gbs=480.0,
+    shared_mem_per_sm=64 * 1024,
+)
+
+XEON_E5_2699V4 = CpuSpec(
+    name="XeonE5-2699v4",
+    num_cores=22,
+    ghz=2.2,
+    vector_lanes=8,    # AVX2: the paper observes vectorization length 8
+    fma_units=2,
+    bandwidth_gbs=76.8,
+)
+
+VU9P = FpgaSpec(
+    name="VU9P",
+    num_dsps=6840,
+    bram_kb=9 * 1024,
+    ddr_bandwidth_gbs=19.2,
+)
+
+DEVICES = {
+    "V100": V100,
+    "P100": P100,
+    "TitanX": TITAN_X,
+    "XeonE5-2699v4": XEON_E5_2699V4,
+    "VU9P": VU9P,
+}
+
+
+def target_of(spec) -> str:
+    """The lowering target name for a device spec."""
+    if isinstance(spec, GpuSpec):
+        return "gpu"
+    if isinstance(spec, CpuSpec):
+        return "cpu"
+    if isinstance(spec, FpgaSpec):
+        return "fpga"
+    raise TypeError(f"unknown device spec {spec!r}")

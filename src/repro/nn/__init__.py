@@ -1,0 +1,18 @@
+"""DNN case study: networks, partitioning, fusion (§6.6)."""
+
+from .network import (
+    LayerResult,
+    LayerSpec,
+    Network,
+    NetworkResult,
+    SubGraph,
+    optimize_network,
+    overfeat,
+    partition_network,
+    yolo_v1,
+)
+
+__all__ = [
+    "LayerResult", "LayerSpec", "Network", "NetworkResult", "SubGraph",
+    "optimize_network", "overfeat", "partition_network", "yolo_v1",
+]

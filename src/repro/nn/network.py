@@ -1,0 +1,175 @@
+"""Full-network case study (§6.6): YOLO-v1 and OverFeat.
+
+A :class:`Network` is a sequence of convolution layers (with
+multiplicities for repeated shapes).  Following the paper, the network is
+partitioned into sub-graphs, elementwise epilogues (bias/ReLU) are fused
+into their producing operator, and each fused operator is handed to
+FlexTensor (or the AutoTVM baseline) for schedule optimization; end-to-end
+time is the sum over layers of optimized kernel time plus, for unfused
+epilogues, an extra elementwise memory pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ops.workloads import Workload, overfeat_layers, yolo_v1_layers
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One distinct layer: a workload, how many times it repeats in the
+    network, and its elementwise epilogue."""
+
+    workload: Workload
+    multiplicity: int = 1
+    activation: str = "relu"
+
+
+@dataclass
+class Network:
+    """An inference network as a list of distinct layers."""
+
+    name: str
+    layers: List[LayerSpec]
+
+    @property
+    def num_layers(self) -> int:
+        """Total layer count including multiplicities."""
+        return sum(layer.multiplicity for layer in self.layers)
+
+    def total_flops(self) -> int:
+        """FLOPs of one full inference pass."""
+        return sum(l.workload.flops() * l.multiplicity for l in self.layers)
+
+
+def yolo_v1(batch: int = 1) -> Network:
+    """YOLO-v1: 24 convolution layers, 15 distinct shapes (Table 4)."""
+    layers = [
+        LayerSpec(workload, multiplicity)
+        for workload, multiplicity in yolo_v1_layers(batch)
+    ]
+    return Network("YOLO-v1", layers)
+
+
+def overfeat(batch: int = 1) -> Network:
+    """OverFeat (fast): 5 convolution layers."""
+    layers = [
+        LayerSpec(workload, multiplicity)
+        for workload, multiplicity in overfeat_layers(batch)
+    ]
+    return Network("OverFeat", layers)
+
+
+@dataclass
+class SubGraph:
+    """A fusion group: one anchor operator plus fused elementwise tail."""
+
+    anchor: LayerSpec
+    fused_elementwise: Tuple[str, ...] = ()
+
+
+def partition_network(network: Network, fuse: bool = True) -> List[SubGraph]:
+    """Partition into sub-graphs and fuse elementwise epilogues (§6.6).
+
+    With ``fuse=False`` every activation stays a separate elementwise
+    kernel (charged a full memory round-trip at evaluation time).
+    """
+    groups = []
+    for layer in network.layers:
+        if fuse and layer.activation:
+            groups.append(SubGraph(layer, (layer.activation,)))
+        else:
+            groups.append(SubGraph(layer, ()))
+    return groups
+
+
+@dataclass
+class LayerResult:
+    """Tuned timing of one distinct layer (kernel + epilogue)."""
+    layer: LayerSpec
+    kernel_seconds: float
+    epilogue_seconds: float
+    gflops: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Layer time across all its occurrences in the network."""
+        return (self.kernel_seconds + self.epilogue_seconds) * self.layer.multiplicity
+
+
+@dataclass
+class NetworkResult:
+    """End-to-end outcome: per-layer results and aggregate time."""
+    network: str
+    device: str
+    method: str
+    layers: List[LayerResult] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end inference time of the whole network."""
+        return sum(l.total_seconds for l in self.layers)
+
+    @property
+    def gflops(self) -> float:
+        """Aggregate throughput of the optimized network."""
+        total_flops = sum(
+            l.layer.workload.flops() * l.layer.multiplicity for l in self.layers
+        )
+        return total_flops / self.total_seconds / 1e9
+
+
+def _epilogue_seconds(workload: Workload, device_spec, fused: bool) -> float:
+    """Cost of the elementwise activation: free when fused into the
+    producing kernel, a full read-modify-write pass otherwise."""
+    if fused:
+        return 0.0
+    out = workload.build()
+    bytes_moved = out.size * 4 * 2
+    bandwidth = getattr(device_spec, "bandwidth_gbs", None)
+    if bandwidth is None:
+        bandwidth = getattr(device_spec, "ddr_bandwidth_gbs")
+    launch = getattr(device_spec, "kernel_launch_us", 5.0) * 1e-6
+    return bytes_moved / (bandwidth * 1e9) + launch
+
+
+def optimize_network(
+    network: Network,
+    device_spec,
+    trials: int = 25,
+    method: str = "q",
+    fuse: bool = True,
+    seed: int = 0,
+    **tuner_kwargs,
+) -> NetworkResult:
+    """Optimize every distinct layer and assemble end-to-end time.
+
+    ``method`` accepts the :func:`repro.optimize.optimize` methods plus
+    ``"autotvm"`` for the template baseline.
+    """
+    from ..baselines import autotvm_optimize
+    from ..optimize import optimize
+
+    groups = partition_network(network, fuse=fuse)
+    result = NetworkResult(network.name, device_spec.name, method)
+    for group in groups:
+        layer = group.anchor
+        output = layer.workload.build()
+        if method == "autotvm":
+            tuned = autotvm_optimize(output, device_spec, trials=trials, seed=seed)
+            kernel_seconds = tuned.best_seconds
+            gflops = tuned.best_performance
+        else:
+            opt = optimize(
+                output, device_spec, trials=trials, method=method, seed=seed,
+                **tuner_kwargs,
+            )
+            kernel_seconds = opt.kernel_seconds
+            gflops = opt.gflops
+        epilogue = _epilogue_seconds(
+            layer.workload, device_spec, fused=bool(group.fused_elementwise)
+        )
+        result.layers.append(LayerResult(layer, kernel_seconds, epilogue, gflops))
+    return result

@@ -1,0 +1,90 @@
+"""Operator zoo: all Table 1 operators, the §6.4 new operators, and the
+benchmark workload suites of Tables 3 and 4."""
+
+from .convolution import (
+    conv1d_compute,
+    conv1d_reference,
+    conv1d_transposed_compute,
+    conv1d_transposed_reference,
+    conv2d_compute,
+    conv2d_reference,
+    conv2d_transposed_compute,
+    conv2d_transposed_reference,
+    conv3d_compute,
+    conv3d_reference,
+    conv3d_transposed_compute,
+    conv3d_transposed_reference,
+    conv_out_size,
+    depthwise_conv2d_compute,
+    depthwise_conv2d_reference,
+    dilate,
+    pad_nd,
+    transposed_out_size,
+)
+from .linalg import (
+    bilinear_compute,
+    bilinear_reference,
+    gemm_compute,
+    gemm_reference,
+    gemv_compute,
+    gemv_reference,
+)
+from .layout import (
+    conv2d_nchwc_compute,
+    conv2d_nchwc_reference,
+    pack_nchwc,
+    pack_nchwc_reference,
+    pack_weight_nchwc_reference,
+    unpack_nchwc,
+    unpack_nchwc_reference,
+)
+from .normalization import (
+    layernorm_compute,
+    layernorm_reference,
+    softmax_compute,
+    softmax_reference,
+)
+from .pooling import (
+    avgpool2d_compute,
+    avgpool2d_reference,
+    maxpool2d_compute,
+    maxpool2d_reference,
+)
+from .special import (
+    block_circulant_matmul_compute,
+    block_circulant_matmul_reference,
+    shift_compute,
+    shift_reference,
+)
+from .workloads import (
+    OPERATOR_NAMES,
+    SUITES,
+    Workload,
+    YOLO_LAYER_SHAPES,
+    bcm_workloads,
+    overfeat_layers,
+    shift_workloads,
+    yolo_conv2d_workload,
+    yolo_t2d_workload,
+    yolo_v1_layers,
+)
+
+__all__ = [
+    "OPERATOR_NAMES", "SUITES", "Workload", "YOLO_LAYER_SHAPES",
+    "avgpool2d_compute", "avgpool2d_reference", "maxpool2d_compute",
+    "maxpool2d_reference", "conv2d_nchwc_compute", "conv2d_nchwc_reference",
+    "pack_nchwc", "pack_nchwc_reference", "pack_weight_nchwc_reference",
+    "unpack_nchwc", "unpack_nchwc_reference", "layernorm_compute", "layernorm_reference", "softmax_compute", "softmax_reference",
+    "bcm_workloads", "bilinear_compute", "bilinear_reference",
+    "block_circulant_matmul_compute", "block_circulant_matmul_reference",
+    "conv1d_compute", "conv1d_reference", "conv1d_transposed_compute",
+    "conv1d_transposed_reference", "conv2d_compute", "conv2d_reference",
+    "conv2d_transposed_compute", "conv2d_transposed_reference",
+    "conv3d_compute", "conv3d_reference", "conv3d_transposed_compute",
+    "conv3d_transposed_reference", "conv_out_size", "depthwise_conv2d_compute",
+    "depthwise_conv2d_reference", "dilate", "gemm_compute", "gemm_reference",
+    "gemv_compute", "gemv_reference", "overfeat_layers", "pad_nd",
+    "shift_compute", "shift_reference", "shift_workloads",
+    "transposed_out_size", "yolo_conv2d_workload", "yolo_t2d_workload",
+    "yolo_v1_layers",
+]

@@ -1,0 +1,534 @@
+"""Convolution operators of Table 1.
+
+Covers 1D/2D/3D convolution, their transposed variants, and the grouped /
+depthwise / dilated 2D variants.  Transposed convolutions follow the
+paper's structure (Table 3): an *expansion* node (stride dilation), a
+*padding* node and the convolution itself, so their mini-graphs have three
+nodes; direct convolutions have a padding node plus the convolution (two
+nodes).
+
+Each builder returns the output :class:`~repro.ir.Tensor`; inputs are
+reachable through the mini-graph.  The ``*_reference`` functions are numpy
+ground truths with identical semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..ir import (
+    Compare,
+    Select,
+    Tensor,
+    all_of,
+    compute,
+    placeholder,
+    reduce_axis,
+    sum_reduce,
+)
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: int, dilation: int = 1) -> int:
+    """Spatial output size of a direct convolution."""
+    effective = (kernel - 1) * dilation + 1
+    return (size + 2 * padding - effective) // stride + 1
+
+
+def transposed_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a transposed convolution."""
+    return (size - 1) * stride - 2 * padding + kernel
+
+
+def pad_nd(data: Tensor, paddings: Sequence[Tuple[int, int]], name: str) -> Tensor:
+    """Zero-pad ``data``; ``paddings[d]`` is (before, after) for dim d.
+
+    Returns ``data`` unchanged when all paddings are zero, so graphs only
+    grow a padding node when one is needed.
+    """
+    paddings = [tuple(p) for p in paddings]
+    if len(paddings) != data.ndim:
+        raise ValueError("one (before, after) pair per dimension is required")
+    if all(before == 0 and after == 0 for before, after in paddings):
+        return data
+    new_shape = tuple(
+        s + before + after for s, (before, after) in zip(data.shape, paddings)
+    )
+
+    def body(*idx):
+        conditions = []
+        src = []
+        for i, (before, _after), size in zip(idx, paddings, data.shape):
+            if before or _after:
+                conditions.append(Compare(">=", i, before))
+                conditions.append(Compare("<", i, before + size))
+            src.append(i - before if before else i)
+        return Select(all_of(conditions), data[tuple(src)], 0.0)
+
+    return compute(new_shape, body, name=name)
+
+
+def dilate(data: Tensor, strides: Sequence[int], name: str) -> Tensor:
+    """Insert ``stride - 1`` zeros between elements along each dim (the
+    expansion node of a transposed convolution)."""
+    strides = list(strides)
+    if all(s == 1 for s in strides):
+        return data
+    new_shape = tuple(
+        (size - 1) * stride + 1 for size, stride in zip(data.shape, strides)
+    )
+
+    def body(*idx):
+        conditions = []
+        src = []
+        for i, stride in zip(idx, strides):
+            if stride > 1:
+                conditions.append(Compare("==", i % stride, 0))
+                src.append(i // stride)
+            else:
+                src.append(i)
+        if not conditions:
+            return data[tuple(src)]
+        return Select(all_of(conditions), data[tuple(src)], 0.0)
+
+    return compute(new_shape, body, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Direct convolutions
+# ---------------------------------------------------------------------------
+
+def conv1d_compute(
+    batch: int,
+    in_channel: int,
+    length: int,
+    out_channel: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    name: str = "conv1d",
+) -> Tensor:
+    """1D convolution: ``O_{b,k,i} = I_{b,rc,i+rx} ∘ W_{k,rc,rx}``."""
+    data = placeholder((batch, in_channel, length), name=f"{name}_I")
+    weight = placeholder((out_channel, in_channel, kernel), name=f"{name}_W")
+    padded = pad_nd(data, [(0, 0), (0, 0), (padding, padding)], name=f"{name}_pad")
+    out_len = conv_out_size(length, kernel, stride, padding)
+    rc = reduce_axis(in_channel, "rc")
+    rx = reduce_axis(kernel, "rx")
+    return compute(
+        (batch, out_channel, out_len),
+        lambda b, k, i: sum_reduce(
+            padded[b, rc, i * stride + rx] * weight[k, rc, rx], (rc, rx)
+        ),
+        name=name,
+    )
+
+
+def conv1d_reference(
+    data: np.ndarray, weight: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Numpy ground truth for :func:`conv1d_compute`."""
+    batch, in_channel, length = data.shape
+    out_channel, _, kernel = weight.shape
+    padded = np.pad(data, [(0, 0), (0, 0), (padding, padding)])
+    out_len = conv_out_size(length, kernel, stride, padding)
+    out = np.zeros((batch, out_channel, out_len), dtype=data.dtype)
+    for rx in range(kernel):
+        window = padded[:, :, rx : rx + out_len * stride : stride]
+        out += np.einsum("bcl,kc->bkl", window, weight[:, :, rx])
+    return out
+
+
+def conv2d_compute(
+    batch: int,
+    in_channel: int,
+    height: int,
+    width: int,
+    out_channel: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+    groups: int = 1,
+    name: str = "conv2d",
+) -> Tensor:
+    """2D convolution with optional dilation and grouping.
+
+    ``groups > 1`` gives the paper's GRP operator; ``dilation > 1`` gives
+    DIL.  The plain C2D case is ``groups == dilation == 1``.
+    """
+    if in_channel % groups or out_channel % groups:
+        raise ValueError("channels must be divisible by groups")
+    data = placeholder((batch, in_channel, height, width), name=f"{name}_I")
+    weight = placeholder(
+        (out_channel, in_channel // groups, kernel, kernel), name=f"{name}_W"
+    )
+    padded = pad_nd(
+        data, [(0, 0), (0, 0), (padding, padding), (padding, padding)], name=f"{name}_pad"
+    )
+    out_h = conv_out_size(height, kernel, stride, padding, dilation)
+    out_w = conv_out_size(width, kernel, stride, padding, dilation)
+    rc = reduce_axis(in_channel // groups, "rc")
+    rx = reduce_axis(kernel, "rx")
+    ry = reduce_axis(kernel, "ry")
+    channels_per_group = out_channel // groups
+
+    def body(b, k, i, j):
+        if groups == 1:
+            channel = rc
+        else:
+            channel = (k // channels_per_group) * (in_channel // groups) + rc
+        return sum_reduce(
+            padded[b, channel, i * stride + rx * dilation, j * stride + ry * dilation]
+            * weight[k, rc, rx, ry],
+            (rc, rx, ry),
+        )
+
+    return compute((batch, out_channel, out_h, out_w), body, name=name)
+
+
+def conv2d_reference(
+    data: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+    groups: int = 1,
+) -> np.ndarray:
+    """Numpy ground truth for :func:`conv2d_compute` (all variants)."""
+    batch, in_channel, height, width = data.shape
+    out_channel, group_channels, kernel, _ = weight.shape
+    padded = np.pad(data, [(0, 0), (0, 0), (padding, padding), (padding, padding)])
+    out_h = conv_out_size(height, kernel, stride, padding, dilation)
+    out_w = conv_out_size(width, kernel, stride, padding, dilation)
+    out = np.zeros((batch, out_channel, out_h, out_w), dtype=data.dtype)
+    k_per_group = out_channel // groups
+    for g in range(groups):
+        data_g = padded[:, g * group_channels : (g + 1) * group_channels]
+        weight_g = weight[g * k_per_group : (g + 1) * k_per_group]
+        acc = np.zeros((batch, k_per_group, out_h, out_w), dtype=data.dtype)
+        for rx in range(kernel):
+            for ry in range(kernel):
+                window = data_g[
+                    :,
+                    :,
+                    rx * dilation : rx * dilation + out_h * stride : stride,
+                    ry * dilation : ry * dilation + out_w * stride : stride,
+                ]
+                acc += np.einsum("bchw,kc->bkhw", window, weight_g[:, :, rx, ry])
+        out[:, g * k_per_group : (g + 1) * k_per_group] = acc
+    return out
+
+
+def depthwise_conv2d_compute(
+    batch: int,
+    in_channel: int,
+    height: int,
+    width: int,
+    multiplier: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    name: str = "depthwise",
+) -> Tensor:
+    """Depthwise 2D convolution: each input channel convolved separately,
+    ``O_{b,k,i,j} = I_{b,c,i+rx,j+ry} ∘ W^c_{k,rx,ry}`` with
+    ``c = k // multiplier``."""
+    data = placeholder((batch, in_channel, height, width), name=f"{name}_I")
+    weight = placeholder(
+        (in_channel * multiplier, kernel, kernel), name=f"{name}_W"
+    )
+    padded = pad_nd(
+        data, [(0, 0), (0, 0), (padding, padding), (padding, padding)], name=f"{name}_pad"
+    )
+    out_h = conv_out_size(height, kernel, stride, padding)
+    out_w = conv_out_size(width, kernel, stride, padding)
+    rx = reduce_axis(kernel, "rx")
+    ry = reduce_axis(kernel, "ry")
+    return compute(
+        (batch, in_channel * multiplier, out_h, out_w),
+        lambda b, k, i, j: sum_reduce(
+            padded[b, k // multiplier, i * stride + rx, j * stride + ry]
+            * weight[k, rx, ry],
+            (rx, ry),
+        ),
+        name=name,
+    )
+
+
+def depthwise_conv2d_reference(
+    data: np.ndarray,
+    weight: np.ndarray,
+    multiplier: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Numpy ground truth for :func:`depthwise_conv2d_compute`."""
+    batch, in_channel, height, width = data.shape
+    out_channels, kernel, _ = weight.shape
+    padded = np.pad(data, [(0, 0), (0, 0), (padding, padding), (padding, padding)])
+    out_h = conv_out_size(height, kernel, stride, padding)
+    out_w = conv_out_size(width, kernel, stride, padding)
+    out = np.zeros((batch, out_channels, out_h, out_w), dtype=data.dtype)
+    for k in range(out_channels):
+        c = k // multiplier
+        for rx in range(kernel):
+            for ry in range(kernel):
+                window = padded[
+                    :, c, rx : rx + out_h * stride : stride, ry : ry + out_w * stride : stride
+                ]
+                out[:, k] += window * weight[k, rx, ry]
+    return out
+
+
+def conv3d_compute(
+    batch: int,
+    in_channel: int,
+    depth: int,
+    height: int,
+    width: int,
+    out_channel: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    name: str = "conv3d",
+) -> Tensor:
+    """3D convolution: ``O_{b,k,d,i,j} = I_{b,rc,d+rd,i+rx,j+ry} ∘ W``."""
+    data = placeholder((batch, in_channel, depth, height, width), name=f"{name}_I")
+    weight = placeholder(
+        (out_channel, in_channel, kernel, kernel, kernel), name=f"{name}_W"
+    )
+    pads = [(0, 0), (0, 0)] + [(padding, padding)] * 3
+    padded = pad_nd(data, pads, name=f"{name}_pad")
+    out_d = conv_out_size(depth, kernel, stride, padding)
+    out_h = conv_out_size(height, kernel, stride, padding)
+    out_w = conv_out_size(width, kernel, stride, padding)
+    rc = reduce_axis(in_channel, "rc")
+    rd = reduce_axis(kernel, "rd")
+    rx = reduce_axis(kernel, "rx")
+    ry = reduce_axis(kernel, "ry")
+    return compute(
+        (batch, out_channel, out_d, out_h, out_w),
+        lambda b, k, d, i, j: sum_reduce(
+            padded[b, rc, d * stride + rd, i * stride + rx, j * stride + ry]
+            * weight[k, rc, rd, rx, ry],
+            (rc, rd, rx, ry),
+        ),
+        name=name,
+    )
+
+
+def conv3d_reference(
+    data: np.ndarray, weight: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Numpy ground truth for :func:`conv3d_compute`."""
+    batch, in_channel, depth, height, width = data.shape
+    out_channel, _, kernel, _, _ = weight.shape
+    pads = [(0, 0), (0, 0)] + [(padding, padding)] * 3
+    padded = np.pad(data, pads)
+    out_d = conv_out_size(depth, kernel, stride, padding)
+    out_h = conv_out_size(height, kernel, stride, padding)
+    out_w = conv_out_size(width, kernel, stride, padding)
+    out = np.zeros((batch, out_channel, out_d, out_h, out_w), dtype=data.dtype)
+    for rd in range(kernel):
+        for rx in range(kernel):
+            for ry in range(kernel):
+                window = padded[
+                    :,
+                    :,
+                    rd : rd + out_d * stride : stride,
+                    rx : rx + out_h * stride : stride,
+                    ry : ry + out_w * stride : stride,
+                ]
+                out += np.einsum("bcdhw,kc->bkdhw", window, weight[:, :, rd, rx, ry])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Transposed convolutions (expansion + padding + convolution: 3 nodes)
+# ---------------------------------------------------------------------------
+
+def conv1d_transposed_compute(
+    batch: int,
+    in_channel: int,
+    length: int,
+    out_channel: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    name: str = "t1d",
+) -> Tensor:
+    """Transposed 1D convolution:
+    ``O_{b,k,i} = I_{b,rc,i+rx} ∘ W_{rc,k,L-rx-1}`` over the
+    stride-expanded, re-padded input."""
+    data = placeholder((batch, in_channel, length), name=f"{name}_I")
+    weight = placeholder((in_channel, out_channel, kernel), name=f"{name}_W")
+    expanded = dilate(data, [1, 1, stride], name=f"{name}_expand")
+    border = kernel - 1 - padding
+    if border < 0:
+        raise ValueError("padding must be < kernel for transposed convolution")
+    padded = pad_nd(expanded, [(0, 0), (0, 0), (border, border)], name=f"{name}_pad")
+    out_len = transposed_out_size(length, kernel, stride, padding)
+    rc = reduce_axis(in_channel, "rc")
+    rx = reduce_axis(kernel, "rx")
+    return compute(
+        (batch, out_channel, out_len),
+        lambda b, k, i: sum_reduce(
+            padded[b, rc, i + rx] * weight[rc, k, kernel - rx - 1], (rc, rx)
+        ),
+        name=name,
+    )
+
+
+def conv1d_transposed_reference(
+    data: np.ndarray, weight: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Numpy ground truth for :func:`conv1d_transposed_compute`."""
+    batch, in_channel, length = data.shape
+    _, out_channel, kernel = weight.shape
+    expanded_len = (length - 1) * stride + 1
+    expanded = np.zeros((batch, in_channel, expanded_len), dtype=data.dtype)
+    expanded[:, :, ::stride] = data
+    border = kernel - 1 - padding
+    padded = np.pad(expanded, [(0, 0), (0, 0), (border, border)])
+    flipped = weight[:, :, ::-1].transpose(1, 0, 2)  # (k, rc, rx)
+    out_len = transposed_out_size(length, kernel, stride, padding)
+    out = np.zeros((batch, out_channel, out_len), dtype=data.dtype)
+    for rx in range(kernel):
+        window = padded[:, :, rx : rx + out_len]
+        out += np.einsum("bcl,kc->bkl", window, flipped[:, :, rx])
+    return out
+
+
+def conv2d_transposed_compute(
+    batch: int,
+    in_channel: int,
+    height: int,
+    width: int,
+    out_channel: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    name: str = "t2d",
+) -> Tensor:
+    """Transposed 2D convolution (expansion, padding, flipped-kernel conv)."""
+    data = placeholder((batch, in_channel, height, width), name=f"{name}_I")
+    weight = placeholder((in_channel, out_channel, kernel, kernel), name=f"{name}_W")
+    expanded = dilate(data, [1, 1, stride, stride], name=f"{name}_expand")
+    border = kernel - 1 - padding
+    if border < 0:
+        raise ValueError("padding must be < kernel for transposed convolution")
+    padded = pad_nd(
+        expanded, [(0, 0), (0, 0), (border, border), (border, border)], name=f"{name}_pad"
+    )
+    out_h = transposed_out_size(height, kernel, stride, padding)
+    out_w = transposed_out_size(width, kernel, stride, padding)
+    rc = reduce_axis(in_channel, "rc")
+    rx = reduce_axis(kernel, "rx")
+    ry = reduce_axis(kernel, "ry")
+    return compute(
+        (batch, out_channel, out_h, out_w),
+        lambda b, k, i, j: sum_reduce(
+            padded[b, rc, i + rx, j + ry]
+            * weight[rc, k, kernel - rx - 1, kernel - ry - 1],
+            (rc, rx, ry),
+        ),
+        name=name,
+    )
+
+
+def conv2d_transposed_reference(
+    data: np.ndarray, weight: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Numpy ground truth for :func:`conv2d_transposed_compute`."""
+    batch, in_channel, height, width = data.shape
+    _, out_channel, kernel, _ = weight.shape
+    exp_h = (height - 1) * stride + 1
+    exp_w = (width - 1) * stride + 1
+    expanded = np.zeros((batch, in_channel, exp_h, exp_w), dtype=data.dtype)
+    expanded[:, :, ::stride, ::stride] = data
+    border = kernel - 1 - padding
+    padded = np.pad(expanded, [(0, 0), (0, 0), (border, border), (border, border)])
+    flipped = weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
+    out_h = transposed_out_size(height, kernel, stride, padding)
+    out_w = transposed_out_size(width, kernel, stride, padding)
+    out = np.zeros((batch, out_channel, out_h, out_w), dtype=data.dtype)
+    for rx in range(kernel):
+        for ry in range(kernel):
+            window = padded[:, :, rx : rx + out_h, ry : ry + out_w]
+            out += np.einsum("bchw,kc->bkhw", window, flipped[:, :, rx, ry])
+    return out
+
+
+def conv3d_transposed_compute(
+    batch: int,
+    in_channel: int,
+    depth: int,
+    height: int,
+    width: int,
+    out_channel: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    name: str = "t3d",
+) -> Tensor:
+    """Transposed 3D convolution (expansion, padding, flipped-kernel conv)."""
+    data = placeholder((batch, in_channel, depth, height, width), name=f"{name}_I")
+    weight = placeholder(
+        (in_channel, out_channel, kernel, kernel, kernel), name=f"{name}_W"
+    )
+    expanded = dilate(data, [1, 1, stride, stride, stride], name=f"{name}_expand")
+    border = kernel - 1 - padding
+    if border < 0:
+        raise ValueError("padding must be < kernel for transposed convolution")
+    pads = [(0, 0), (0, 0)] + [(border, border)] * 3
+    padded = pad_nd(expanded, pads, name=f"{name}_pad")
+    out_d = transposed_out_size(depth, kernel, stride, padding)
+    out_h = transposed_out_size(height, kernel, stride, padding)
+    out_w = transposed_out_size(width, kernel, stride, padding)
+    rc = reduce_axis(in_channel, "rc")
+    rd = reduce_axis(kernel, "rd")
+    rx = reduce_axis(kernel, "rx")
+    ry = reduce_axis(kernel, "ry")
+    return compute(
+        (batch, out_channel, out_d, out_h, out_w),
+        lambda b, k, d, i, j: sum_reduce(
+            padded[b, rc, d + rd, i + rx, j + ry]
+            * weight[rc, k, kernel - rd - 1, kernel - rx - 1, kernel - ry - 1],
+            (rc, rd, rx, ry),
+        ),
+        name=name,
+    )
+
+
+def conv3d_transposed_reference(
+    data: np.ndarray, weight: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Numpy ground truth for :func:`conv3d_transposed_compute`."""
+    batch, in_channel, depth, height, width = data.shape
+    _, out_channel, kernel, _, _ = weight.shape
+    exp = np.zeros(
+        (
+            batch,
+            in_channel,
+            (depth - 1) * stride + 1,
+            (height - 1) * stride + 1,
+            (width - 1) * stride + 1,
+        ),
+        dtype=data.dtype,
+    )
+    exp[:, :, ::stride, ::stride, ::stride] = data
+    border = kernel - 1 - padding
+    padded = np.pad(exp, [(0, 0), (0, 0)] + [(border, border)] * 3)
+    flipped = weight[:, :, ::-1, ::-1, ::-1].transpose(1, 0, 2, 3, 4)
+    out_d = transposed_out_size(depth, kernel, stride, padding)
+    out_h = transposed_out_size(height, kernel, stride, padding)
+    out_w = transposed_out_size(width, kernel, stride, padding)
+    out = np.zeros((batch, out_channel, out_d, out_h, out_w), dtype=data.dtype)
+    for rd in range(kernel):
+        for rx in range(kernel):
+            for ry in range(kernel):
+                window = padded[:, :, rd : rd + out_d, rx : rx + out_h, ry : ry + out_w]
+                out += np.einsum("bcdhw,kc->bkdhw", window, flipped[:, :, rd, rx, ry])
+    return out

@@ -1,0 +1,59 @@
+"""Linear-algebra operators of Table 1: GEMV, GEMM, Bilinear.
+
+Each ``*_compute`` function builds the IR definition and returns the output
+tensor; the matching ``*_reference`` computes the same result with numpy
+and is the numeric ground truth for correctness tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import Tensor, compute, placeholder, reduce_axis, sum_reduce
+
+
+def gemv_compute(n: int, k: int, name: str = "gemv") -> Tensor:
+    """GEMV: ``O_i = A_{i,k} ∘ B_k``."""
+    a = placeholder((n, k), name=f"{name}_A")
+    b = placeholder((k,), name=f"{name}_B")
+    rk = reduce_axis(k, "rk")
+    return compute((n,), lambda i: sum_reduce(a[i, rk] * b[rk], rk), name=name)
+
+
+def gemv_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Numpy ground truth for :func:`gemv_compute`."""
+    return a @ b
+
+
+def gemm_compute(n: int, k: int, m: int, name: str = "gemm") -> Tensor:
+    """GEMM: ``O_{i,j} = A_{i,k} ∘ B_{k,j}``."""
+    a = placeholder((n, k), name=f"{name}_A")
+    b = placeholder((k, m), name=f"{name}_B")
+    rk = reduce_axis(k, "rk")
+    return compute(
+        (n, m), lambda i, j: sum_reduce(a[i, rk] * b[rk, j], rk), name=name
+    )
+
+
+def gemm_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Numpy ground truth for :func:`gemm_compute`."""
+    return a @ b
+
+
+def bilinear_compute(n: int, k: int, l: int, m: int, name: str = "bilinear") -> Tensor:
+    """Bilinear: ``O_{i,j} = A_{i,k} ∘ B_{j,k,l} ∘ C_{i,l}``."""
+    a = placeholder((n, k), name=f"{name}_A")
+    b = placeholder((m, k, l), name=f"{name}_B")
+    c = placeholder((n, l), name=f"{name}_C")
+    rk = reduce_axis(k, "rk")
+    rl = reduce_axis(l, "rl")
+    return compute(
+        (n, m),
+        lambda i, j: sum_reduce(a[i, rk] * b[j, rk, rl] * c[i, rl], (rk, rl)),
+        name=name,
+    )
+
+
+def bilinear_reference(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Numpy ground truth for :func:`bilinear_compute`."""
+    return np.einsum("ik,jkl,il->ij", a, b, c)

@@ -1,0 +1,91 @@
+"""Normalization-style operators: softmax and layer normalization.
+
+These exercise the parts of the stack Table 1's operators do not:
+multi-node mini-graphs whose *helper* nodes are themselves reductions
+(which can never be inlined — they must be scheduled and materialized,
+the full Algorithm 1 path exposed by :func:`repro.optimize.optimize_graph`),
+the ``max`` combiner, unary math (exp/sqrt) and true division.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import (
+    Tensor,
+    compute,
+    exp,
+    max_reduce,
+    placeholder,
+    reduce_axis,
+    sqrt,
+    sum_reduce,
+)
+
+
+def softmax_compute(rows: int, cols: int, name: str = "softmax") -> Tensor:
+    """Numerically stable row softmax: three nested-loop nodes.
+
+    ``m_i = max_j x_ij``; ``s_i = Σ_j e^(x_ij - m_i)``;
+    ``o_ij = e^(x_ij - m_i) / s_i``.
+    """
+    x = placeholder((rows, cols), name=f"{name}_X")
+    rmax = reduce_axis(cols, "rmax")
+    row_max = compute(
+        (rows,), lambda i: max_reduce(x[i, rmax], rmax), name=f"{name}_max"
+    )
+    rsum = reduce_axis(cols, "rsum")
+    row_sum = compute(
+        (rows,),
+        lambda i: sum_reduce(exp(x[i, rsum] - row_max[i]), rsum),
+        name=f"{name}_sum",
+    )
+    return compute(
+        (rows, cols),
+        lambda i, j: exp(x[i, j] - row_max[i]) / row_sum[i],
+        name=name,
+    )
+
+
+def softmax_reference(x: np.ndarray) -> np.ndarray:
+    """Numpy ground truth for :func:`softmax_compute`."""
+    shifted = x - x.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def layernorm_compute(
+    rows: int, cols: int, epsilon: float = 1e-5, name: str = "layernorm"
+) -> Tensor:
+    """Row layer normalization: ``(x - mean) / sqrt(var + eps)``.
+
+    Four nodes: mean (reduce), squared-deviation sum (reduce, consuming
+    the mean), and the elementwise normalization.
+    """
+    x = placeholder((rows, cols), name=f"{name}_X")
+    rmean = reduce_axis(cols, "rmean")
+    mean = compute(
+        (rows,),
+        lambda i: sum_reduce(x[i, rmean] * (1.0 / cols), rmean),
+        name=f"{name}_mean",
+    )
+    rvar = reduce_axis(cols, "rvar")
+    variance = compute(
+        (rows,),
+        lambda i: sum_reduce(
+            (x[i, rvar] - mean[i]) * (x[i, rvar] - mean[i]) * (1.0 / cols), rvar
+        ),
+        name=f"{name}_var",
+    )
+    return compute(
+        (rows, cols),
+        lambda i, j: (x[i, j] - mean[i]) / sqrt(variance[i] + epsilon),
+        name=name,
+    )
+
+
+def layernorm_reference(x: np.ndarray, epsilon: float = 1e-5) -> np.ndarray:
+    """Numpy ground truth for :func:`layernorm_compute`."""
+    mean = x.mean(axis=1, keepdims=True)
+    variance = ((x - mean) ** 2).mean(axis=1, keepdims=True)
+    return (x - mean) / np.sqrt(variance + epsilon)

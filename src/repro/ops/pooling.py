@@ -1,0 +1,95 @@
+"""Pooling operators (extension beyond the paper's Table 1).
+
+Max pooling exercises the ``max`` reduction combiner through the whole
+stack — space generation, lowering, interpretation and the machine models
+— and average pooling is the canonical small-reduction memory-bound
+operator.  Both appear in the paper's evaluation networks (YOLO-v1 and
+OverFeat interleave convolutions with max-pooling layers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import Tensor, compute, max_reduce, placeholder, reduce_axis, sum_reduce
+from .convolution import conv_out_size, pad_nd
+
+
+def maxpool2d_compute(
+    batch: int,
+    channel: int,
+    height: int,
+    width: int,
+    kernel: int,
+    stride: int = None,
+    name: str = "maxpool",
+) -> Tensor:
+    """Max pooling: ``O_{b,c,i,j} = max_{rx,ry} I_{b,c,i·s+rx,j·s+ry}``."""
+    stride = stride or kernel
+    data = placeholder((batch, channel, height, width), name=f"{name}_I")
+    out_h = conv_out_size(height, kernel, stride, 0)
+    out_w = conv_out_size(width, kernel, stride, 0)
+    rx = reduce_axis(kernel, "rx")
+    ry = reduce_axis(kernel, "ry")
+    return compute(
+        (batch, channel, out_h, out_w),
+        lambda b, c, i, j: max_reduce(
+            data[b, c, i * stride + rx, j * stride + ry], (rx, ry)
+        ),
+        name=name,
+    )
+
+
+def maxpool2d_reference(data: np.ndarray, kernel: int, stride: int = None) -> np.ndarray:
+    """Numpy ground truth for :func:`maxpool2d_compute`."""
+    stride = stride or kernel
+    batch, channel, height, width = data.shape
+    out_h = conv_out_size(height, kernel, stride, 0)
+    out_w = conv_out_size(width, kernel, stride, 0)
+    out = np.full((batch, channel, out_h, out_w), -np.inf, dtype=data.dtype)
+    for rx in range(kernel):
+        for ry in range(kernel):
+            window = data[:, :, rx : rx + out_h * stride : stride,
+                          ry : ry + out_w * stride : stride]
+            out = np.maximum(out, window)
+    return out
+
+
+def avgpool2d_compute(
+    batch: int,
+    channel: int,
+    height: int,
+    width: int,
+    kernel: int,
+    stride: int = None,
+    name: str = "avgpool",
+) -> Tensor:
+    """Average pooling: a sum reduction scaled by the window size."""
+    stride = stride or kernel
+    data = placeholder((batch, channel, height, width), name=f"{name}_I")
+    out_h = conv_out_size(height, kernel, stride, 0)
+    out_w = conv_out_size(width, kernel, stride, 0)
+    rx = reduce_axis(kernel, "rx")
+    ry = reduce_axis(kernel, "ry")
+    scale = 1.0 / (kernel * kernel)
+    return compute(
+        (batch, channel, out_h, out_w),
+        lambda b, c, i, j: sum_reduce(
+            data[b, c, i * stride + rx, j * stride + ry] * scale, (rx, ry)
+        ),
+        name=name,
+    )
+
+
+def avgpool2d_reference(data: np.ndarray, kernel: int, stride: int = None) -> np.ndarray:
+    """Numpy ground truth for :func:`avgpool2d_compute`."""
+    stride = stride or kernel
+    batch, channel, height, width = data.shape
+    out_h = conv_out_size(height, kernel, stride, 0)
+    out_w = conv_out_size(width, kernel, stride, 0)
+    out = np.zeros((batch, channel, out_h, out_w), dtype=data.dtype)
+    for rx in range(kernel):
+        for ry in range(kernel):
+            out += data[:, :, rx : rx + out_h * stride : stride,
+                        ry : ry + out_w * stride : stride]
+    return out / (kernel * kernel)

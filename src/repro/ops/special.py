@@ -1,0 +1,91 @@
+"""New operators without good library support (§6.4).
+
+* **BCM** — block-circulant matrix multiply, the compressed linear layer of
+  C-LSTM [56]: the weight matrix is a grid of b×b circulant blocks, each
+  stored as a single length-b vector.
+* **SHO** — the shift operation of Shift-Net [59, 63]: a zero-FLOP
+  "convolution" that moves each channel by a per-channel spatial offset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import Tensor, compute, placeholder, reduce_axis, sum_reduce
+from .convolution import pad_nd
+
+
+def block_circulant_matmul_compute(
+    batch: int, in_dim: int, out_dim: int, block: int, name: str = "bcm"
+) -> Tensor:
+    """BCM: ``O[b, p*B+ii] = Σ_q Σ_jj W[p, q, (jj - ii) mod B] * X[b, q*B+jj]``.
+
+    ``W`` holds one defining vector per circulant block, so the layer uses
+    ``in_dim * out_dim / block`` parameters instead of ``in_dim * out_dim``.
+    """
+    if in_dim % block or out_dim % block:
+        raise ValueError("dimensions must be divisible by the block size")
+    x = placeholder((batch, in_dim), name=f"{name}_X")
+    w = placeholder((out_dim // block, in_dim // block, block), name=f"{name}_W")
+    rq = reduce_axis(in_dim // block, "rq")
+    rj = reduce_axis(block, "rj")
+    return compute(
+        (batch, out_dim),
+        lambda b, i: sum_reduce(
+            w[i // block, rq, (rj - (i % block)) % block] * x[b, rq * block + rj],
+            (rq, rj),
+        ),
+        name=name,
+    )
+
+
+def block_circulant_matmul_reference(
+    x: np.ndarray, w: np.ndarray, block: int
+) -> np.ndarray:
+    """Numpy ground truth for :func:`block_circulant_matmul_compute`."""
+    batch, in_dim = x.shape
+    out_blocks, in_blocks, _ = w.shape
+    out = np.zeros((batch, out_blocks * block), dtype=x.dtype)
+    for p in range(out_blocks):
+        for q in range(in_blocks):
+            # Expand the defining vector into the full circulant block:
+            # block[ii, jj] = w[p, q, (jj - ii) mod block]
+            circ = np.empty((block, block), dtype=x.dtype)
+            for ii in range(block):
+                circ[ii] = np.roll(w[p, q], ii)
+            out[:, p * block : (p + 1) * block] += (
+                x[:, q * block : (q + 1) * block] @ circ.T
+            )
+    return out
+
+
+def shift_compute(
+    batch: int, channel: int, height: int, width: int, name: str = "shift"
+) -> Tensor:
+    """SHO: ``O[b,c,i,j] = I[b, c, i + sh(c), j + sw(c)]``.
+
+    Channels are assigned one of nine (dh, dw) ∈ {-1,0,1}² offsets in
+    round-robin, the standard grouping of the Shift paper; padding by one
+    pixel makes every shifted read in-bounds.
+    """
+    data = placeholder((batch, channel, height, width), name=f"{name}_I")
+    padded = pad_nd(data, [(0, 0), (0, 0), (1, 1), (1, 1)], name=f"{name}_pad")
+    # With one-pixel padding, offset (c % 3, (c // 3) % 3) in 0..2 realizes
+    # a shift of -1..1 relative to the original image.
+    return compute(
+        (batch, channel, height, width),
+        lambda b, c, i, j: padded[b, c, i + c % 3, j + (c // 3) % 3],
+        name=name,
+    )
+
+
+def shift_reference(data: np.ndarray) -> np.ndarray:
+    """Numpy ground truth for :func:`shift_compute`."""
+    batch, channel, height, width = data.shape
+    padded = np.pad(data, [(0, 0), (0, 0), (1, 1), (1, 1)])
+    out = np.empty_like(data)
+    for c in range(channel):
+        dh = c % 3
+        dw = (c // 3) % 3
+        out[:, c] = padded[:, c, dh : dh + height, dw : dw + width]
+    return out

@@ -1,0 +1,340 @@
+"""Benchmark workload definitions: Table 3 test-case suites and Table 4.
+
+``SUITES`` maps each operator abbreviation of Table 3 (GMV, GMM, BIL, C1D,
+T1D, C2D, T2D, C3D, T3D, GRP, DEP, DIL) to its list of test cases; the C2D
+and T2D suites are the 15 distinctive YOLO-v1 convolution layers of
+Table 4.  ``yolo_v1_layers``/``overfeat_layers`` give the full networks for
+the §6.6 end-to-end case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from ..ir import ComputeOp, Tensor, count_flops_per_point
+from . import convolution as conv
+from . import linalg
+from . import special
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One test case: an operator family plus concrete shape parameters."""
+
+    operator: str
+    name: str
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def build(self) -> Tensor:
+        """Instantiate the IR computation for this workload."""
+        builder = _BUILDERS[self.operator]
+        return builder(**self.params)
+
+    def flops(self) -> int:
+        """FLOPs of the main compute node (the paper's GFLOPS accounting:
+        helper padding/expansion nodes do not count as floating-point work)."""
+        out = self.build()
+        op = out.op
+        assert isinstance(op, ComputeOp)
+        points = out.size
+        for axis in op.reduce_axes:
+            points *= axis.extent
+        return points * count_flops_per_point(op.body)
+
+    def __str__(self):
+        params = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.operator}:{self.name}({params})"
+
+
+_BUILDERS: Dict[str, Callable[..., Tensor]] = {
+    "GMV": linalg.gemv_compute,
+    "GMM": linalg.gemm_compute,
+    "BIL": linalg.bilinear_compute,
+    "C1D": conv.conv1d_compute,
+    "T1D": conv.conv1d_transposed_compute,
+    "C2D": conv.conv2d_compute,
+    "T2D": conv.conv2d_transposed_compute,
+    "C3D": conv.conv3d_compute,
+    "T3D": conv.conv3d_transposed_compute,
+    "GRP": conv.conv2d_compute,       # groups > 1
+    "DEP": conv.depthwise_conv2d_compute,
+    "DIL": conv.conv2d_compute,       # dilation > 1
+    "BCM": special.block_circulant_matmul_compute,
+    "SHO": special.shift_compute,
+}
+
+OPERATOR_NAMES = (
+    "GMV", "GMM", "BIL", "C1D", "T1D", "C2D",
+    "T2D", "C3D", "T3D", "GRP", "DEP", "DIL",
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 4: the 15 distinctive convolution layers of YOLO-v1
+# ---------------------------------------------------------------------------
+
+#: (in_channels, out_channels, height/width, kernel, stride)
+YOLO_LAYER_SHAPES: Tuple[Tuple[int, int, int, int, int], ...] = (
+    (3, 64, 448, 7, 2),      # C1
+    (64, 192, 112, 3, 1),    # C2
+    (192, 128, 56, 1, 1),    # C3
+    (128, 256, 56, 3, 1),    # C4
+    (256, 256, 56, 1, 1),    # C5
+    (256, 512, 56, 3, 1),    # C6
+    (512, 256, 28, 1, 1),    # C7
+    (256, 512, 28, 3, 1),    # C8
+    (512, 512, 28, 1, 1),    # C9
+    (512, 1024, 28, 3, 1),   # C10
+    (1024, 512, 14, 1, 1),   # C11
+    (512, 1024, 14, 3, 1),   # C12
+    (1024, 1024, 14, 3, 1),  # C13
+    (1024, 1024, 14, 3, 2),  # C14
+    (1024, 1024, 7, 3, 1),   # C15
+)
+
+
+def yolo_conv2d_workload(index: int, batch: int = 1) -> Workload:
+    """Table 4 layer ``C{index}`` (1-based) as a C2D workload."""
+    c, k, hw, kernel, stride = YOLO_LAYER_SHAPES[index - 1]
+    return Workload(
+        "C2D",
+        f"C{index}",
+        {
+            "batch": batch,
+            "in_channel": c,
+            "height": hw,
+            "width": hw,
+            "out_channel": k,
+            "kernel": kernel,
+            "stride": stride,
+            "padding": kernel // 2,
+        },
+    )
+
+
+def yolo_t2d_workload(index: int, batch: int = 1) -> Workload:
+    """A transposed counterpart of Table 4 layer ``C{index}``."""
+    c, k, hw, kernel, stride = YOLO_LAYER_SHAPES[index - 1]
+    return Workload(
+        "T2D",
+        f"T{index}",
+        {
+            "batch": batch,
+            "in_channel": k,
+            "height": max(hw // stride, 1),
+            "width": max(hw // stride, 1),
+            "out_channel": c,
+            "kernel": kernel,
+            "stride": stride,
+            "padding": kernel // 2,
+        },
+    )
+
+
+def _gmv(n, k):
+    return Workload("GMV", f"gemv_{n}x{k}", {"n": n, "k": k})
+
+
+def _gmm(n, k, m):
+    return Workload("GMM", f"gemm_{n}x{k}x{m}", {"n": n, "k": k, "m": m})
+
+
+def _bil(n, k, l, m):
+    return Workload("BIL", f"bil_{n}x{k}x{l}x{m}", {"n": n, "k": k, "l": l, "m": m})
+
+
+def _c1d(c, length, k, kernel, stride=1):
+    return Workload(
+        "C1D",
+        f"c1d_{c}x{length}_k{k}",
+        {
+            "batch": 1, "in_channel": c, "length": length, "out_channel": k,
+            "kernel": kernel, "stride": stride, "padding": kernel // 2,
+        },
+    )
+
+
+def _t1d(c, length, k, kernel, stride=1):
+    return Workload(
+        "T1D",
+        f"t1d_{c}x{length}_k{k}",
+        {
+            "batch": 1, "in_channel": c, "length": length, "out_channel": k,
+            "kernel": kernel, "stride": stride, "padding": kernel // 2,
+        },
+    )
+
+
+def _c3d(c, d, hw, k, kernel, stride=1):
+    return Workload(
+        "C3D",
+        f"c3d_{c}x{d}x{hw}_k{k}",
+        {
+            "batch": 1, "in_channel": c, "depth": d, "height": hw, "width": hw,
+            "out_channel": k, "kernel": kernel, "stride": stride,
+            "padding": kernel // 2,
+        },
+    )
+
+
+def _t3d(c, d, hw, k, kernel, stride=1):
+    return Workload(
+        "T3D",
+        f"t3d_{c}x{d}x{hw}_k{k}",
+        {
+            "batch": 1, "in_channel": c, "depth": d, "height": hw, "width": hw,
+            "out_channel": k, "kernel": kernel, "stride": stride,
+            "padding": kernel // 2,
+        },
+    )
+
+
+def _grp(c, hw, k, kernel, groups):
+    return Workload(
+        "GRP",
+        f"grp_{c}x{hw}_k{k}_g{groups}",
+        {
+            "batch": 1, "in_channel": c, "height": hw, "width": hw,
+            "out_channel": k, "kernel": kernel, "stride": 1,
+            "padding": kernel // 2, "groups": groups,
+        },
+    )
+
+
+def _dep(c, hw, multiplier, kernel, stride=1):
+    return Workload(
+        "DEP",
+        f"dep_{c}x{hw}_m{multiplier}",
+        {
+            "batch": 1, "in_channel": c, "height": hw, "width": hw,
+            "multiplier": multiplier, "kernel": kernel, "stride": stride,
+            "padding": kernel // 2,
+        },
+    )
+
+
+def _dil(c, hw, k, kernel, dilation):
+    return Workload(
+        "DIL",
+        f"dil_{c}x{hw}_k{k}_d{dilation}",
+        {
+            "batch": 1, "in_channel": c, "height": hw, "width": hw,
+            "out_channel": k, "kernel": kernel, "stride": 1,
+            "padding": (kernel - 1) * dilation // 2, "dilation": dilation,
+        },
+    )
+
+
+#: Table 3 test-case suites (counts match the paper's "Test Cases" column).
+SUITES: Dict[str, List[Workload]] = {
+    "GMV": [
+        _gmv(64, 128), _gmv(128, 128), _gmv(256, 256), _gmv(512, 512),
+        _gmv(512, 1024), _gmv(1024, 512),
+    ],
+    "GMM": [
+        _gmm(32, 32, 32), _gmm(64, 64, 64), _gmm(128, 128, 128),
+        _gmm(256, 256, 256), _gmm(512, 512, 512), _gmm(1024, 1024, 1024),
+        _gmm(2048, 1024, 2048),
+    ],
+    "BIL": [
+        _bil(32, 64, 64, 32), _bil(64, 64, 64, 64), _bil(64, 128, 64, 64),
+        _bil(128, 64, 64, 128), _bil(64, 128, 128, 64),
+    ],
+    "C1D": [
+        _c1d(64, 4096, 64, 3), _c1d(128, 2048, 128, 3), _c1d(64, 8192, 64, 3),
+        _c1d(256, 1024, 256, 3), _c1d(128, 4096, 128, 5), _c1d(512, 512, 512, 3),
+        _c1d(256, 2048, 256, 7),
+    ],
+    "T1D": [
+        _t1d(64, 2048, 64, 3, 2), _t1d(128, 1024, 128, 3, 2),
+        _t1d(64, 4096, 64, 3, 2), _t1d(256, 512, 256, 3, 2),
+        _t1d(128, 2048, 128, 5, 2), _t1d(512, 256, 512, 3, 2),
+        _t1d(256, 1024, 256, 7, 2),
+    ],
+    "C2D": [yolo_conv2d_workload(i) for i in range(1, 16)],
+    "T2D": [yolo_t2d_workload(i) for i in range(1, 16)],
+    "C3D": [
+        _c3d(3, 16, 112, 64, 3), _c3d(64, 16, 56, 64, 3), _c3d(64, 16, 56, 128, 3),
+        _c3d(128, 8, 28, 128, 3), _c3d(128, 8, 28, 256, 3), _c3d(256, 4, 14, 256, 3),
+        _c3d(256, 4, 14, 512, 3), _c3d(512, 2, 7, 512, 3),
+    ],
+    "T3D": [
+        _t3d(64, 8, 56, 3, 3, 2), _t3d(64, 8, 28, 64, 3, 2),
+        _t3d(128, 4, 28, 64, 3, 2), _t3d(128, 4, 14, 128, 3, 2),
+        _t3d(256, 2, 14, 128, 3, 2), _t3d(256, 2, 7, 256, 3, 2),
+        _t3d(512, 2, 7, 256, 3, 2), _t3d(512, 2, 7, 512, 3, 2),
+    ],
+    "GRP": [
+        _grp(64, 56, 64, 3, 2), _grp(64, 56, 64, 3, 4), _grp(128, 28, 128, 3, 2),
+        _grp(128, 28, 128, 3, 4), _grp(128, 28, 128, 3, 8), _grp(256, 14, 256, 3, 2),
+        _grp(256, 14, 256, 3, 4), _grp(256, 14, 256, 3, 8), _grp(256, 28, 256, 3, 4),
+        _grp(512, 14, 512, 3, 4), _grp(512, 14, 512, 3, 8), _grp(512, 7, 512, 3, 4),
+        _grp(1024, 7, 1024, 3, 8), _grp(384, 28, 384, 3, 3),
+    ],
+    "DEP": [
+        _dep(32, 112, 1, 3), _dep(64, 112, 1, 3), _dep(128, 56, 1, 3),
+        _dep(128, 56, 1, 3, 2), _dep(256, 28, 1, 3), _dep(512, 14, 1, 3),
+        _dep(1024, 7, 1, 3),
+    ],
+    "DIL": [
+        _dil(64, 56, 64, 3, 2), _dil(64, 56, 64, 3, 4), _dil(128, 28, 128, 3, 2),
+        _dil(128, 28, 128, 3, 4), _dil(256, 14, 256, 3, 2), _dil(256, 28, 256, 3, 2),
+        _dil(512, 14, 512, 3, 2), _dil(512, 28, 512, 3, 2), _dil(256, 56, 256, 3, 2),
+        _dil(128, 56, 128, 3, 4), _dil(512, 7, 512, 3, 2),
+    ],
+}
+
+
+def bcm_workloads() -> List[Workload]:
+    """§6.4 block-circulant matrix workloads."""
+    return [
+        Workload("BCM", f"bcm_{n}x{m}_b{b}", {"batch": 1, "in_dim": n, "out_dim": m, "block": b})
+        for n, m, b in [(1024, 1024, 8), (2048, 1024, 16), (1024, 2048, 8),
+                        (4096, 4096, 16), (2048, 2048, 32)]
+    ]
+
+
+def shift_workloads() -> List[Workload]:
+    """§6.4 shift-operation workloads."""
+    return [
+        Workload("SHO", f"shift_{c}x{hw}", {"batch": 1, "channel": c, "height": hw, "width": hw})
+        for c, hw in [(64, 112), (128, 56), (256, 28), (512, 14), (1024, 7)]
+    ]
+
+
+# ---------------------------------------------------------------------------
+# §6.6 networks
+# ---------------------------------------------------------------------------
+
+def yolo_v1_layers(batch: int = 1) -> List[Tuple[Workload, int]]:
+    """YOLO-v1's 24 convolution layers as (distinct layer, multiplicity)."""
+    multiplicity = {7: 4, 8: 4, 11: 2, 12: 2, 13: 2}
+    layers = []
+    for index in range(1, 16):
+        layers.append((yolo_conv2d_workload(index, batch), multiplicity.get(index, 1)))
+    return layers
+
+
+def overfeat_layers(batch: int = 1) -> List[Tuple[Workload, int]]:
+    """OverFeat's 5 convolution layers (fast model)."""
+    shapes = [
+        (3, 96, 231, 11, 4, 0),
+        (96, 256, 24, 5, 1, 0),
+        (256, 512, 12, 3, 1, 1),
+        (512, 1024, 12, 3, 1, 1),
+        (1024, 1024, 12, 3, 1, 1),
+    ]
+    layers = []
+    for idx, (c, k, hw, kernel, stride, padding) in enumerate(shapes, start=1):
+        wl = Workload(
+            "C2D",
+            f"overfeat_conv{idx}",
+            {
+                "batch": batch, "in_channel": c, "height": hw, "width": hw,
+                "out_channel": k, "kernel": kernel, "stride": stride,
+                "padding": padding,
+            },
+        )
+        layers.append((wl, 1))
+    return layers

@@ -1,0 +1,5 @@
+"""User-facing optimization entry points."""
+
+from .api import GraphOptimizeResult, OptimizeResult, optimize, optimize_graph, tune_workload
+
+__all__ = ["GraphOptimizeResult", "OptimizeResult", "optimize", "optimize_graph", "tune_workload"]

@@ -1,0 +1,6 @@
+"""Measurement harness, simulated exploration clock, and tuning records."""
+
+from .measure import Evaluator, MeasureRecord
+from .records import RecordBook, TuningRecord, workload_key
+
+__all__ = ["Evaluator", "MeasureRecord", "RecordBook", "TuningRecord", "workload_key"]

@@ -1,0 +1,148 @@
+"""Measurement harness: evaluates schedule points and tracks exploration cost.
+
+The paper's back-end obtains a performance value E for each visited point
+either by running on the device or by querying an analytical model (§5.2).
+Here the :class:`Evaluator` plays both roles: it lowers a space point,
+asks the device's performance model for the kernel time, converts it to a
+performance value (GFLOPS, higher is better), memoizes it, and advances a
+**simulated wall clock** by the cost of that measurement (compile +
+repeated runs on CPU/GPU; one model query on FPGA).  The clock drives the
+exploration-time comparisons of Figures 6d and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..codegen import flops_of
+from ..graph import MiniGraph, get_graph
+from ..model import INVALID_TIME, PerformanceModel, model_for, target_of
+from ..schedule import GraphConfig, LoweringError, Scheduled, lower
+from ..space import Point, ScheduleSpace, build_space
+
+
+@dataclass
+class MeasureRecord:
+    """One evaluated point: performance (GFLOPS) and when it was measured."""
+
+    point: Point
+    performance: float
+    seconds: float           # modeled kernel time
+    clock: float             # simulated wall-clock at completion
+    trial_index: int
+
+
+class Evaluator:
+    """Schedule-point evaluator with memoization and a simulated clock."""
+
+    def __init__(
+        self,
+        output,
+        device_spec,
+        space: Optional[ScheduleSpace] = None,
+        graph_config: Optional[GraphConfig] = None,
+        model: Optional[PerformanceModel] = None,
+    ):
+        self.graph: MiniGraph = output if isinstance(output, MiniGraph) else get_graph(output)
+        self.device_spec = device_spec
+        self.target = target_of(device_spec)
+        self.space = space or build_space(self.graph, self.target)
+        self.graph_config = graph_config or GraphConfig()
+        self.model = model or model_for(device_spec)
+        self.flops = flops_of(self.graph.main_op)
+        self._producer_overhead = self._materialization_seconds()
+        self.cache: Dict[Point, float] = {}
+        self.records: List[MeasureRecord] = []
+        self.clock = 0.0
+        self.num_measurements = 0
+
+    # -- evaluation --------------------------------------------------------
+
+    def lower_point(self, point: Point) -> Scheduled:
+        """Lower a space point to its scheduled loop nest."""
+        config = self.space.decode(point)
+        return lower(self.graph, config, self.target, self.graph_config)
+
+    def evaluate(self, point: Point) -> float:
+        """Performance value E of a point in GFLOPS (0 for invalid).
+
+        Cached: re-evaluating a visited point costs no simulated time,
+        matching the paper's "record the visited points to avoid repeated
+        searching".
+        """
+        if point in self.cache:
+            return self.cache[point]
+        try:
+            scheduled = self.lower_point(point)
+            seconds = self.model.estimate_seconds(scheduled)
+        except LoweringError:
+            seconds = INVALID_TIME
+        if seconds >= INVALID_TIME:
+            performance = 0.0
+        else:
+            seconds += self._producer_overhead
+            performance = self.flops / seconds / 1e9
+        self.clock += self.model.measurement_seconds(min(seconds, 1.0))
+        self.num_measurements += 1
+        self.cache[point] = performance
+        self.records.append(
+            MeasureRecord(point, performance, seconds, self.clock, self.num_measurements)
+        )
+        return performance
+
+    def _materialization_seconds(self) -> float:
+        """Cost of producer nodes the graph config does *not* inline.
+
+        An un-inlined padding/expansion node runs as its own elementwise
+        kernel: write its output, read it back in the consumer, plus a
+        launch.  Inlining (Algorithm 1's graph schedule, FlexTensor's
+        default) makes this free; template baselines that materialize
+        data-rearrangement stages pay it.
+        """
+        main = self.graph.main_op
+        bandwidth = getattr(self.device_spec, "bandwidth_gbs", None)
+        if bandwidth is None:
+            bandwidth = getattr(self.device_spec, "ddr_bandwidth_gbs")
+        launch = getattr(self.device_spec, "kernel_launch_us", 5.0) * 1e-6
+        total = 0.0
+        for op in self.graph.compute_ops:
+            if op is main or self.graph_config.should_inline(op.name):
+                continue
+            bytes_moved = op.output.size * 4 * 3  # write + read back + input read
+            total += bytes_moved / (bandwidth * 1e9) + launch
+        return total
+
+    def charge(self, seconds: float) -> None:
+        """Advance the simulated clock for non-measurement work (e.g.
+        cost-model training in the AutoTVM baseline)."""
+        self.clock += seconds
+
+    # -- results -------------------------------------------------------------
+
+    def best(self) -> Tuple[Optional[Point], float]:
+        """The best evaluated point and its performance so far."""
+        if not self.cache:
+            return None, 0.0
+        point = max(self.cache, key=self.cache.get)
+        return point, self.cache[point]
+
+    def convergence_curve(self) -> List[Tuple[float, float]]:
+        """(simulated seconds, best GFLOPS so far) per measurement —
+        the data behind Figure 7."""
+        curve = []
+        best = 0.0
+        for record in self.records:
+            best = max(best, record.performance)
+            curve.append((record.clock, best))
+        return curve
+
+    def time_to_reach(self, target_performance: float) -> Optional[float]:
+        """Simulated seconds until the search first reached the target
+        (Figure 6d's exploration-time metric); None if never reached."""
+        best = 0.0
+        for record in self.records:
+            best = max(best, record.performance)
+            if best >= target_performance:
+                return record.clock
+        return None

@@ -1,0 +1,104 @@
+"""Persistent tuning records ("tophub"-style best-schedule store).
+
+Tuning costs minutes; its artifact — the best configuration per
+(operator, shape, device) — is a few hundred bytes.  A :class:`RecordBook`
+appends every finished tuning run to a JSONL file and serves the best
+known configuration back, so repeated runs warm-start instead of
+re-searching (the deployment mode TVM calls a "tophub" package).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..schedule import NodeConfig
+from ..utils.serialization import config_from_dict, config_to_dict
+
+
+def workload_key(operator: str, params: Dict, device: str) -> str:
+    """Canonical lookup key for a tuned workload."""
+    shape = ",".join(f"{k}={params[k]}" for k in sorted(params))
+    return f"{operator}[{shape}]@{device}"
+
+
+@dataclass
+class TuningRecord:
+    """One finished tuning run."""
+
+    key: str
+    config: NodeConfig
+    gflops: float
+    trials: int = 0
+    seed: int = 0
+
+    def to_json(self) -> str:
+        """Serialize the record as one JSONL line."""
+        return json.dumps({
+            "key": self.key,
+            "config": config_to_dict(self.config),
+            "gflops": self.gflops,
+            "trials": self.trials,
+            "seed": self.seed,
+        })
+
+    @classmethod
+    def from_json(cls, line: str) -> "TuningRecord":
+        """Parse a record from a JSONL line."""
+        payload = json.loads(line)
+        return cls(
+            key=payload["key"],
+            config=config_from_dict(payload["config"]),
+            gflops=payload["gflops"],
+            trials=payload.get("trials", 0),
+            seed=payload.get("seed", 0),
+        )
+
+
+class RecordBook:
+    """Append-only store of tuning records with best-per-key lookup."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self.path = Path(path) if path else None
+        self._best: Dict[str, TuningRecord] = {}
+        if self.path and self.path.exists():
+            for record in self._read_all():
+                self._consider(record)
+
+    def _read_all(self) -> Iterator[TuningRecord]:
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if line:
+                yield TuningRecord.from_json(line)
+
+    def _consider(self, record: TuningRecord) -> bool:
+        current = self._best.get(record.key)
+        if current is None or record.gflops > current.gflops:
+            self._best[record.key] = record
+            return True
+        return False
+
+    # -- public API --------------------------------------------------------
+
+    def add(self, record: TuningRecord) -> None:
+        """Append a record (and persist it if a path is configured)."""
+        self._consider(record)
+        if self.path:
+            with open(self.path, "a") as f:
+                f.write(record.to_json() + "\n")
+
+    def best(self, key: str) -> Optional[TuningRecord]:
+        """Best known record for a workload key, or None."""
+        return self._best.get(key)
+
+    def keys(self) -> List[str]:
+        """All workload keys with at least one record, sorted."""
+        return sorted(self._best)
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._best

@@ -1,0 +1,49 @@
+"""Schedule representation, configuration and lowering (Table 2, §5.3)."""
+
+from .config import (
+    GraphConfig,
+    NodeConfig,
+    REORDER_CHOICES,
+    REORDER_INTERLEAVED,
+    REORDER_REDUCE_INNER,
+    REORDER_SPATIAL_INNER,
+    UNROLL_CHOICES,
+)
+from .loopnest import (
+    ANNOTATIONS,
+    BLOCK_X,
+    LoopDef,
+    PARALLEL,
+    PE_PARALLEL,
+    SERIAL,
+    Scheduled,
+    THREAD_X,
+    UNROLL,
+    VECTORIZE,
+    VTHREAD,
+    fuse_loops,
+    split_axis,
+    substitute_vars,
+)
+from .validate import ScheduleValidationError, quick_report, validate_schedule
+from .lower import (
+    CPU_REDUCE_PARTS,
+    CPU_SPATIAL_PARTS,
+    FPGA_SPATIAL_PARTS,
+    GPU_REDUCE_PARTS,
+    GPU_SPATIAL_PARTS,
+    LoweringError,
+    TARGETS,
+    lower,
+)
+
+__all__ = [
+    "ANNOTATIONS", "BLOCK_X", "CPU_REDUCE_PARTS", "CPU_SPATIAL_PARTS",
+    "FPGA_SPATIAL_PARTS", "GPU_REDUCE_PARTS", "GPU_SPATIAL_PARTS",
+    "GraphConfig", "LoopDef", "LoweringError", "NodeConfig", "PARALLEL",
+    "PE_PARALLEL", "REORDER_CHOICES", "REORDER_INTERLEAVED",
+    "REORDER_REDUCE_INNER", "REORDER_SPATIAL_INNER", "SERIAL", "Scheduled",
+    "TARGETS", "THREAD_X", "UNROLL", "UNROLL_CHOICES", "VECTORIZE", "VTHREAD",
+    "fuse_loops", "lower", "split_axis", "substitute_vars",
+    "ScheduleValidationError", "quick_report", "validate_schedule",
+]

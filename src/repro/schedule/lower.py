@@ -1,0 +1,324 @@
+"""Lowering schedule configurations to loop nests (§5.3, Figure 4).
+
+One lowering function per target, mirroring the paper's hardware-specific
+schedule generation:
+
+* **CPU** (Fig. 4a) — multi-level tiling (3-part splits), dynamic fusion of
+  outer loops into one parallel hyper-loop, reorder, unroll, vectorize the
+  innermost loop.
+* **GPU** (Fig. 4b) — 4-part splits (block / vthread / thread / register
+  tile), bind fused outer parts to ``blockIdx`` and fused thread parts to
+  ``threadIdx``, shared-memory caching of inputs, register tile for
+  results, unroll + reorder of inner loops.
+* **FPGA** (Fig. 4c) — PE-parallel decomposition feeding a three-stage
+  read / compute / write pipeline with input line-buffering and memory
+  partitioning (these affect the analytical model; the loop nest itself
+  stays a PE-parallel tiling).
+
+Helper nodes (padding / expansion) are inlined per the graph config, the
+paper's pre-determined decision for data-rearrangement nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph import MiniGraph, get_graph
+from ..ir import ComputeOp, Expr, IterVar, Var
+from .config import (
+    GraphConfig,
+    NodeConfig,
+    REORDER_INTERLEAVED,
+    REORDER_REDUCE_INNER,
+    REORDER_SPATIAL_INNER,
+)
+from .loopnest import (
+    BLOCK_X,
+    LoopDef,
+    PARALLEL,
+    PE_PARALLEL,
+    SERIAL,
+    Scheduled,
+    THREAD_X,
+    UNROLL,
+    VECTORIZE,
+    VTHREAD,
+    fuse_loops,
+    split_axis,
+    substitute_vars,
+)
+
+GPU_SPATIAL_PARTS = 4
+GPU_REDUCE_PARTS = 2
+CPU_SPATIAL_PARTS = 3
+CPU_REDUCE_PARTS = 2
+FPGA_SPATIAL_PARTS = 2
+
+TARGETS = ("gpu", "cpu", "fpga")
+
+
+class LoweringError(ValueError):
+    """Raised when a configuration cannot be lowered for a target."""
+
+
+def lower(
+    output,
+    config: NodeConfig,
+    target: str,
+    graph_config: Optional[GraphConfig] = None,
+) -> Scheduled:
+    """Lower the main node of ``output``'s graph under ``config``.
+
+    ``output`` may be a tensor or a :class:`MiniGraph`.  Helper compute
+    nodes are inlined according to ``graph_config`` (all inlined by
+    default).
+    """
+    from ..ir import Reduce
+
+    graph = output if isinstance(output, MiniGraph) else get_graph(output)
+    graph_config = graph_config or GraphConfig()
+    main = graph.main_op
+    inlined = tuple(
+        op
+        for op in graph.compute_ops
+        if op is not main
+        and graph_config.should_inline(op.name)
+        and not isinstance(op.body, Reduce)  # reductions cannot be inlined
+    )
+    if target == "gpu":
+        scheduled = _lower_gpu(main, config)
+    elif target == "cpu":
+        scheduled = _lower_cpu(main, config)
+    elif target == "fpga":
+        scheduled = _lower_fpga(main, config)
+    else:
+        raise LoweringError(f"unknown target {target!r}; expected one of {TARGETS}")
+    scheduled.inlined = inlined
+    for op in inlined:
+        scheduled.primitives.append(f"inline {op.name}")
+    # Clean up the mechanically built index reconstructions so generated
+    # code and interpretation avoid no-op arithmetic.
+    from ..ir import simplify
+
+    scheduled.index_map = {
+        axis: simplify(expr) for axis, expr in scheduled.index_map.items()
+    }
+    return scheduled
+
+
+def _check_parts(config: NodeConfig, op: ComputeOp, spatial: int, reduce_: int) -> None:
+    if len(config.spatial_factors) != len(op.axes):
+        raise LoweringError(
+            f"config has {len(config.spatial_factors)} spatial splits, "
+            f"op {op.name} has {len(op.axes)} spatial axes"
+        )
+    if len(config.reduce_factors) != len(op.reduce_axes):
+        raise LoweringError(
+            f"config has {len(config.reduce_factors)} reduce splits, "
+            f"op {op.name} has {len(op.reduce_axes)} reduce axes"
+        )
+    for factors in config.spatial_factors:
+        if len(factors) != spatial:
+            raise LoweringError(f"expected {spatial}-part spatial splits, got {factors}")
+    for factors in config.reduce_factors:
+        if len(factors) != reduce_:
+            raise LoweringError(f"expected {reduce_}-part reduce splits, got {factors}")
+
+
+def _split_all(
+    axes: Sequence[IterVar], factor_lists, kind: str, primitives: List[str]
+) -> Tuple[List[List[LoopDef]], Dict[IterVar, Expr]]:
+    loops_per_axis: List[List[LoopDef]] = []
+    index_map: Dict[IterVar, Expr] = {}
+    for idx, (axis, factors) in enumerate(zip(axes, factor_lists)):
+        loops, index = split_axis(axis, factors, kind, idx)
+        loops_per_axis.append(loops)
+        index_map[axis] = index
+        primitives.append(f"split {axis.name}({axis.extent}) -> {tuple(factors)}")
+    return loops_per_axis, index_map
+
+
+def _apply_recovery(index_map: Dict[IterVar, Expr], recovery: Dict[Var, Expr]) -> None:
+    for axis, expr in index_map.items():
+        index_map[axis] = substitute_vars(expr, recovery)
+
+
+def _mark_unroll(loops: List[LoopDef], unroll_depth: int) -> None:
+    """Annotate innermost serial loops whose combined body fits the unroll
+    budget, emulating TVM's ``auto_unroll_max_step`` pragma."""
+    if unroll_depth <= 0:
+        return
+    budget = unroll_depth
+    for loop in reversed(loops):
+        if loop.annotation != SERIAL:
+            continue
+        if loop.extent <= budget:
+            loop.annotation = UNROLL
+            budget //= loop.extent
+        else:
+            break
+
+
+def _order_inner(
+    reorder: int,
+    reduce_outer: List[LoopDef],
+    spatial_inner: List[LoopDef],
+    reduce_inner: List[LoopDef],
+) -> List[LoopDef]:
+    """Arrange the per-thread (or per-core) tile loops per the reorder knob."""
+    if reorder == REORDER_REDUCE_INNER:
+        return reduce_outer + spatial_inner + reduce_inner
+    if reorder == REORDER_SPATIAL_INNER:
+        return reduce_outer + reduce_inner + spatial_inner
+    if reorder == REORDER_INTERLEAVED:
+        if spatial_inner:
+            return (
+                reduce_outer
+                + spatial_inner[:-1]
+                + reduce_inner
+                + [spatial_inner[-1]]
+            )
+        return reduce_outer + reduce_inner
+    raise LoweringError(f"unknown reorder choice {reorder}")
+
+
+def _lower_gpu(op: ComputeOp, config: NodeConfig) -> Scheduled:
+    _check_parts(config, op, GPU_SPATIAL_PARTS, GPU_REDUCE_PARTS)
+    primitives: List[str] = []
+    spatial_loops, index_map = _split_all(op.axes, config.spatial_factors, "spatial", primitives)
+    reduce_loops, reduce_index = _split_all(op.reduce_axes, config.reduce_factors, "reduce", primitives)
+    index_map.update(reduce_index)
+
+    block_parts = [loops[0] for loops in spatial_loops]
+    vthread_parts = [loops[1] for loops in spatial_loops]
+    thread_parts = [loops[2] for loops in spatial_loops]
+    inner_parts = [loops[3] for loops in spatial_loops]
+
+    block_loop, recovery = fuse_loops(block_parts, f"{op.name}.blockIdx")
+    block_loop.annotation = BLOCK_X
+    _apply_recovery(index_map, recovery)
+    primitives.append(
+        "fuse " + ", ".join(l.var.name for l in block_parts) + " -> blockIdx.x"
+    )
+    primitives.append("bind blockIdx.x")
+
+    thread_loop, recovery = fuse_loops(thread_parts, f"{op.name}.threadIdx")
+    thread_loop.annotation = THREAD_X
+    _apply_recovery(index_map, recovery)
+    primitives.append(
+        "fuse " + ", ".join(l.var.name for l in thread_parts) + " -> threadIdx.x"
+    )
+    primitives.append("bind threadIdx.x")
+
+    for loop in vthread_parts:
+        loop.annotation = VTHREAD
+
+    reduce_outer = [loops[0] for loops in reduce_loops]
+    reduce_inner = [loops[1] for loops in reduce_loops]
+    inner = _order_inner(config.reorder, reduce_outer, inner_parts, reduce_inner)
+    primitives.append(f"reorder choice {config.reorder}")
+
+    loops = [block_loop, thread_loop] + vthread_parts + inner
+    if config.vectorize and inner and loops[-1].role[0] == "spatial":
+        loops[-1].annotation = VECTORIZE
+        primitives.append(f"vectorize {loops[-1].var.name}")
+    _mark_unroll(loops, config.unroll_depth)
+    if config.unroll_depth:
+        primitives.append(f"unroll depth {config.unroll_depth}")
+
+    cached = op.input_tensors if config.use_shared else ()
+    for tensor in cached:
+        primitives.append(f"cache {tensor.name} in shared memory")
+
+    return Scheduled(
+        op=op,
+        target="gpu",
+        loops=loops,
+        index_map=index_map,
+        cached_tensors=tuple(cached),
+        primitives=primitives,
+        config=config,
+    )
+
+
+def _lower_cpu(op: ComputeOp, config: NodeConfig) -> Scheduled:
+    _check_parts(config, op, CPU_SPATIAL_PARTS, CPU_REDUCE_PARTS)
+    if config.fuse_levels > len(op.axes):
+        raise LoweringError(
+            f"fuse_levels {config.fuse_levels} exceeds spatial axes {len(op.axes)}"
+        )
+    primitives: List[str] = []
+    spatial_loops, index_map = _split_all(op.axes, config.spatial_factors, "spatial", primitives)
+    reduce_loops, reduce_index = _split_all(op.reduce_axes, config.reduce_factors, "reduce", primitives)
+    index_map.update(reduce_index)
+
+    outer_parts = [loops[0] for loops in spatial_loops]
+    middle_parts = [loops[1] for loops in spatial_loops]
+    inner_parts = [loops[2] for loops in spatial_loops]
+
+    fused_outer, recovery = fuse_loops(outer_parts[: config.fuse_levels], f"{op.name}.parallel")
+    fused_outer.annotation = PARALLEL
+    _apply_recovery(index_map, recovery)
+    primitives.append(
+        "fuse "
+        + ", ".join(l.var.name for l in outer_parts[: config.fuse_levels])
+        + " -> outer"
+    )
+    primitives.append("parallel outer")
+
+    remaining_outer = outer_parts[config.fuse_levels :]
+    reduce_outer = [loops[0] for loops in reduce_loops]
+    reduce_inner = [loops[1] for loops in reduce_loops]
+    inner = _order_inner(config.reorder, reduce_outer, inner_parts, reduce_inner)
+    primitives.append(f"reorder choice {config.reorder}")
+
+    loops = [fused_outer] + remaining_outer + middle_parts + inner
+    if config.vectorize and len(loops) > 1:
+        loops[-1].annotation = VECTORIZE
+        primitives.append(f"vectorize {loops[-1].var.name}")
+    _mark_unroll(loops, config.unroll_depth)
+    if config.unroll_depth:
+        primitives.append(f"unroll depth {config.unroll_depth}")
+
+    return Scheduled(
+        op=op,
+        target="cpu",
+        loops=loops,
+        index_map=index_map,
+        primitives=primitives,
+        config=config,
+    )
+
+
+def _lower_fpga(op: ComputeOp, config: NodeConfig) -> Scheduled:
+    _check_parts(config, op, FPGA_SPATIAL_PARTS, 1)
+    primitives: List[str] = []
+    spatial_loops, index_map = _split_all(op.axes, config.spatial_factors, "spatial", primitives)
+    reduce_loops, reduce_index = _split_all(
+        op.reduce_axes, config.reduce_factors, "reduce", primitives
+    )
+    index_map.update(reduce_index)
+
+    outer_parts = [loops[0] for loops in spatial_loops]
+    pe_parts = [loops[1] for loops in spatial_loops]
+    pe_loop, recovery = fuse_loops(pe_parts, f"{op.name}.pe")
+    pe_loop.annotation = PE_PARALLEL
+    _apply_recovery(index_map, recovery)
+    primitives.append("fuse " + ", ".join(l.var.name for l in pe_parts) + " -> PE")
+    primitives.append(f"pipeline stages {config.fpga_pipeline}")
+    primitives.append(f"partition factor {config.fpga_partition}")
+    primitives.append(f"buffer {config.fpga_buffer_lines} input lines")
+
+    reduce_flat = [loops[0] for loops in reduce_loops]
+    loops = outer_parts + [pe_loop] + reduce_flat
+    _mark_unroll(loops, config.unroll_depth)
+
+    return Scheduled(
+        op=op,
+        target="fpga",
+        loops=loops,
+        index_map=index_map,
+        cached_tensors=tuple(op.input_tensors),  # BRAM line buffers
+        primitives=primitives,
+        config=config,
+    )

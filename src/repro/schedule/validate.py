@@ -1,0 +1,91 @@
+"""Schedule validation: prove a lowered loop nest is well-formed.
+
+Used by tests and available as a debugging aid when developing new
+lowering paths: :func:`validate_schedule` checks structural invariants
+and, for small iteration spaces, *proves* the index reconstruction is a
+bijection by enumeration — the property that makes every schedule
+semantics-preserving.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from ..ir import evaluate
+from .loopnest import Scheduled
+
+
+class ScheduleValidationError(AssertionError):
+    """A lowered schedule violates a well-formedness invariant."""
+
+
+def validate_schedule(scheduled: Scheduled, max_enumeration: int = 200_000) -> None:
+    """Raise :class:`ScheduleValidationError` on any violated invariant.
+
+    Checks:
+
+    1. the loop-extent product equals the op's iteration-space size;
+    2. every original axis has an index expression over the loop vars;
+    3. (if the space is small enough) walking all loops reconstructs every
+       original iteration point exactly once — split/fuse/reorder compose
+       to a bijection.
+    """
+    op = scheduled.op
+    iteration_space = 1
+    for axis in op.all_axes:
+        iteration_space *= axis.extent
+    loop_product = scheduled.iteration_count
+    if loop_product != iteration_space:
+        raise ScheduleValidationError(
+            f"loop nest iterates {loop_product} points, op has {iteration_space}"
+        )
+
+    missing = [a.name for a in op.all_axes if a not in scheduled.index_map]
+    if missing:
+        raise ScheduleValidationError(f"axes without index expressions: {missing}")
+
+    if iteration_space > max_enumeration:
+        return  # structural checks only; enumeration would be too slow
+
+    axes = list(op.all_axes)
+    ranges = [range(loop.extent) for loop in scheduled.loops]
+    loop_vars = [loop.var for loop in scheduled.loops]
+    seen = set()
+    for point in itertools.product(*ranges):
+        env = dict(zip(loop_vars, point))
+        coords = []
+        for axis in axes:
+            value = evaluate(scheduled.index_map[axis], env)
+            if not 0 <= value < axis.extent:
+                raise ScheduleValidationError(
+                    f"axis {axis.name} reconstructed out of range: {value} "
+                    f"not in [0, {axis.extent})"
+                )
+            coords.append(value)
+        coords = tuple(coords)
+        if coords in seen:
+            raise ScheduleValidationError(
+                f"iteration point {coords} visited twice — the schedule "
+                "is not a bijection"
+            )
+        seen.add(coords)
+    if len(seen) != iteration_space:
+        raise ScheduleValidationError(
+            f"only {len(seen)} of {iteration_space} iteration points covered"
+        )
+
+
+def quick_report(scheduled: Scheduled) -> List[str]:
+    """Human-readable invariant summary (all lines prefixed ok/FAIL)."""
+    lines = []
+    try:
+        validate_schedule(scheduled)
+        lines.append("ok: loop nest is a verified bijection over the iteration space")
+    except ScheduleValidationError as error:
+        lines.append(f"FAIL: {error}")
+    lines.append(
+        f"ok: {len(scheduled.loops)} loops, grid={scheduled.grid_size}, "
+        f"threads={scheduled.block_threads}, parallel={scheduled.parallel_extent}"
+    )
+    return lines

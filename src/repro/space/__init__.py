@@ -1,0 +1,19 @@
+"""Schedule-space generation, pruning and neighborhood structure (§4.2)."""
+
+from .factorization import (
+    closest_factorization,
+    divisors,
+    factorizations,
+    move_factor,
+    num_factorizations,
+    prime_factors,
+)
+from .knobs import ChoiceKnob, Knob, SplitKnob
+from .space import Point, ScheduleSpace, build_space, heuristic_seed_points
+
+__all__ = [
+    "ChoiceKnob", "Knob", "Point", "ScheduleSpace", "SplitKnob",
+    "build_space", "closest_factorization", "divisors", "factorizations",
+    "heuristic_seed_points", "move_factor", "num_factorizations",
+    "prime_factors",
+]

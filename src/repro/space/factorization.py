@@ -1,0 +1,112 @@
+"""Integer factorization utilities for split-factor enumeration (§4.2).
+
+FlexTensor prunes split parameters to *divisible* splits: the choices for
+splitting a loop of extent L into N parts are exactly the ordered
+N-factorizations of L.  The neighborhood structure of the rearranged
+space moves factor mass between two positions: the neighbor of
+``[f1..fN]`` at direction ``(i, j)`` multiplies ``f_i`` and divides
+``f_j`` by the same prime.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+
+@lru_cache(maxsize=None)
+def prime_factors(n: int) -> Tuple[int, ...]:
+    """Prime factorization of ``n`` (with multiplicity, ascending)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    factors = []
+    remaining = n
+    divisor = 2
+    while divisor * divisor <= remaining:
+        while remaining % divisor == 0:
+            factors.append(divisor)
+            remaining //= divisor
+        divisor += 1 if divisor == 2 else 2
+    if remaining > 1:
+        factors.append(remaining)
+    return tuple(factors)
+
+
+@lru_cache(maxsize=None)
+def divisors(n: int) -> Tuple[int, ...]:
+    """All positive divisors of ``n``, ascending."""
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return tuple(small + large[::-1])
+
+
+@lru_cache(maxsize=None)
+def factorizations(n: int, parts: int) -> Tuple[Tuple[int, ...], ...]:
+    """All ordered tuples of ``parts`` positive integers with product ``n``.
+
+    The count is ``Π_p C(e_p + parts - 1, parts - 1)`` over the prime
+    exponents of ``n``; e.g. 1024 into 4 parts gives 286 choices.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if parts == 1:
+        return ((n,),)
+    result: List[Tuple[int, ...]] = []
+    for d in divisors(n):
+        for rest in factorizations(n // d, parts - 1):
+            result.append((d,) + rest)
+    return tuple(result)
+
+
+def num_factorizations(n: int, parts: int) -> int:
+    """Count ordered factorizations without enumerating them."""
+    from math import comb
+
+    count = 1
+    exponents = {}
+    for p in prime_factors(n):
+        exponents[p] = exponents.get(p, 0) + 1
+    for e in exponents.values():
+        count *= comb(e + parts - 1, parts - 1)
+    return count
+
+
+def move_factor(
+    factors: Tuple[int, ...], src: int, dst: int
+) -> Optional[Tuple[int, ...]]:
+    """Neighbor of a factorization at direction ``(dst, src)``: divide
+    position ``src`` by its smallest prime and multiply position ``dst``.
+
+    Returns ``None`` when ``factors[src] == 1`` (no mass to move).
+    """
+    if src == dst:
+        raise ValueError("src and dst must differ")
+    if factors[src] == 1:
+        return None
+    prime = prime_factors(factors[src])[0]
+    moved = list(factors)
+    moved[src] //= prime
+    moved[dst] *= prime
+    return tuple(moved)
+
+
+def closest_factorization(
+    n: int, parts: int, desired: Tuple[int, ...]
+) -> Tuple[int, ...]:
+    """The valid factorization nearest to a desired (possibly invalid)
+    tuple, by log-space distance.  Used to seed the search with heuristic
+    tile shapes."""
+    from math import log2
+
+    def distance(candidate):
+        return sum(
+            abs(log2(c) - log2(max(d, 1))) for c, d in zip(candidate, desired)
+        )
+
+    return min(factorizations(n, parts), key=distance)

@@ -1,0 +1,137 @@
+"""Schedule-space knobs: the dimensions of the rearranged search space.
+
+Each knob owns its list of choices plus a *neighborhood*: the directions
+one can move along and the neighbor each direction leads to.  A point of
+the space is a tuple of per-knob choice indices; moving along a direction
+changes exactly one knob (§5.1: "its adjacent points are different from p
+at only one position").
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .factorization import factorizations, move_factor
+
+
+class Knob(ABC):
+    """One dimension of the schedule space."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @property
+    @abstractmethod
+    def choices(self) -> Sequence:
+        """All values this knob can take."""
+
+    @property
+    @abstractmethod
+    def num_directions(self) -> int:
+        """Number of movement directions within this knob."""
+
+    @abstractmethod
+    def neighbor(self, choice_index: int, direction: int) -> Optional[int]:
+        """Choice index reached by moving along ``direction`` (or None)."""
+
+    @abstractmethod
+    def features(self, choice_index: int) -> List[float]:
+        """Normalized numeric encoding of a choice (Q-network input)."""
+
+    @property
+    def feature_size(self) -> int:
+        return len(self.features(0))
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name}, {len(self)} choices)"
+
+
+class SplitKnob(Knob):
+    """Ordered factorization of one loop extent into ``parts`` factors.
+
+    Directions are the paper's ``(i, j)`` lattice moves: neighbor ``g`` has
+    ``g_i > f_i``, ``g_j < f_j``, all other positions equal (§4.2).
+    """
+
+    def __init__(self, name: str, extent: int, parts: int,
+                 allowed: Optional[Sequence[Tuple[int, ...]]] = None):
+        super().__init__(name)
+        self.extent = extent
+        self.parts = parts
+        base = factorizations(extent, parts) if allowed is None else tuple(allowed)
+        if not base:
+            raise ValueError(f"knob {name!r} has no choices")
+        self._choices = base
+        self._index: Dict[Tuple[int, ...], int] = {c: i for i, c in enumerate(base)}
+        self._directions = [
+            (dst, src)
+            for dst in range(parts)
+            for src in range(parts)
+            if dst != src
+        ]
+        self._log_extent = max(math.log2(extent), 1.0)
+
+    @property
+    def choices(self) -> Sequence[Tuple[int, ...]]:
+        return self._choices
+
+    @property
+    def num_directions(self) -> int:
+        return len(self._directions)
+
+    def neighbor(self, choice_index: int, direction: int) -> Optional[int]:
+        dst, src = self._directions[direction]
+        moved = move_factor(self._choices[choice_index], src, dst)
+        if moved is None:
+            return None
+        return self._index.get(moved)  # None if pruned out of `allowed`
+
+    def features(self, choice_index: int) -> List[float]:
+        return [
+            math.log2(f) / self._log_extent for f in self._choices[choice_index]
+        ]
+
+    def index_of(self, factors: Tuple[int, ...]) -> int:
+        return self._index[tuple(factors)]
+
+
+class ChoiceKnob(Knob):
+    """A categorical/ordinal knob (reorder, unroll depth, flags, ...).
+
+    Directions are +1/-1 in the declared order of values.
+    """
+
+    def __init__(self, name: str, values: Sequence):
+        super().__init__(name)
+        values = list(values)
+        if not values:
+            raise ValueError(f"knob {name!r} has no choices")
+        self._choices = values
+
+    @property
+    def choices(self) -> Sequence:
+        return self._choices
+
+    @property
+    def num_directions(self) -> int:
+        return 2 if len(self._choices) > 1 else 0
+
+    def neighbor(self, choice_index: int, direction: int) -> Optional[int]:
+        step = 1 if direction == 0 else -1
+        target = choice_index + step
+        if 0 <= target < len(self._choices):
+            return target
+        return None
+
+    def features(self, choice_index: int) -> List[float]:
+        if len(self._choices) == 1:
+            return [0.0]
+        return [choice_index / (len(self._choices) - 1)]
+
+    def index_of(self, value) -> int:
+        return self._choices.index(value)

@@ -1,0 +1,347 @@
+"""Schedule-space construction, pruning and rearrangement (§4.2).
+
+``build_space`` turns the static analysis of a computation into a
+hardware-specific :class:`ScheduleSpace`.  Pruning per the paper:
+
+1. **Depth limits** — the number of split parts per loop is fixed per
+   target (4 on GPU, 3 on CPU, 2 on FPGA), bounding recursive
+   split/fuse chains.
+2. **Divisible splits only** — split-factor choices are the ordered
+   factorizations of each extent.
+3. **Pre-determined hardware decisions** — binding, parallelization and
+   pipeline structure are fixed per target (encoded in the lowering), so
+   the space only contains the knobs worth exploring.
+
+Rearrangement: rather than a flat 1-D list, the space is the product of
+per-knob neighborhoods; moving along a direction changes one position of
+the configuration vector, so neighboring points share structure and tend
+to perform similarly (§4.2's high-dimensional rearrangement).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import MiniGraph, get_graph
+from ..ir import ComputeOp
+from ..schedule import (
+    CPU_REDUCE_PARTS,
+    CPU_SPATIAL_PARTS,
+    FPGA_SPATIAL_PARTS,
+    GPU_REDUCE_PARTS,
+    GPU_SPATIAL_PARTS,
+    NodeConfig,
+    REORDER_CHOICES,
+    UNROLL_CHOICES,
+)
+from .factorization import closest_factorization
+from .knobs import ChoiceKnob, Knob, SplitKnob
+
+Point = Tuple[int, ...]
+
+
+class ScheduleSpace:
+    """The rearranged schedule space of one compute node on one target."""
+
+    def __init__(self, op: ComputeOp, target: str, knobs: Sequence[Knob]):
+        self.op = op
+        self.target = target
+        self.knobs: Tuple[Knob, ...] = tuple(knobs)
+        self._knob_by_name = {k.name: k for k in self.knobs}
+        # Global direction table: (knob index, local direction).
+        self.directions: List[Tuple[int, int]] = [
+            (ki, d)
+            for ki, knob in enumerate(self.knobs)
+            for d in range(knob.num_directions)
+        ]
+        self._feature_size = sum(k.feature_size for k in self.knobs)
+
+    # -- basic geometry ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of points (the paper reports 3.9e9 .. 2.4e12 for GPU)."""
+        total = 1
+        for knob in self.knobs:
+            total *= len(knob)
+        return total
+
+    @property
+    def num_directions(self) -> int:
+        return len(self.directions)
+
+    @property
+    def feature_size(self) -> int:
+        return self._feature_size
+
+    def knob(self, name: str) -> Knob:
+        return self._knob_by_name[name]
+
+    def random_point(self, rng: np.random.Generator) -> Point:
+        return tuple(int(rng.integers(len(knob))) for knob in self.knobs)
+
+    def neighbor(self, point: Point, direction: int) -> Optional[Point]:
+        """The adjacent point along a global direction, or None."""
+        ki, local = self.directions[direction]
+        moved = self.knobs[ki].neighbor(point[ki], local)
+        if moved is None:
+            return None
+        replaced = list(point)
+        replaced[ki] = moved
+        return tuple(replaced)
+
+    def neighbors(self, point: Point) -> List[Tuple[int, Point]]:
+        """All (direction, neighbor) pairs reachable from ``point``."""
+        result = []
+        for d in range(self.num_directions):
+            nb = self.neighbor(point, d)
+            if nb is not None:
+                result.append((d, nb))
+        return result
+
+    def features(self, point: Point) -> np.ndarray:
+        """Numeric encoding of a point (Q-network / cost-model input)."""
+        values: List[float] = []
+        for knob, choice in zip(self.knobs, point):
+            values.extend(knob.features(choice))
+        return np.asarray(values, dtype=np.float64)
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, point: Point) -> NodeConfig:
+        """Turn a space point into a schedule configuration."""
+        values = {
+            knob.name: knob.choices[choice]
+            for knob, choice in zip(self.knobs, point)
+        }
+        spatial = tuple(
+            values[f"sp{i}"] for i in range(len(self.op.axes))
+        )
+        reduce_ = tuple(
+            values[f"re{i}"] for i in range(len(self.op.reduce_axes))
+        )
+        return NodeConfig(
+            spatial_factors=spatial,
+            reduce_factors=reduce_,
+            reorder=values.get("reorder", 0),
+            fuse_levels=values.get("fuse", 1),
+            unroll_depth=values.get("unroll", 0),
+            vectorize=values.get("vectorize", True),
+            use_shared=values.get("shared", True),
+            fpga_partition=values.get("partition", 1),
+            fpga_pipeline=values.get("pipeline", 3),
+            fpga_buffer_lines=values.get("buffer", 1),
+        )
+
+    def encode(self, config: NodeConfig) -> Point:
+        """Inverse of :meth:`decode` (raises if a value is pruned away)."""
+        point = []
+        for knob in self.knobs:
+            if knob.name.startswith("sp"):
+                value = config.spatial_factors[int(knob.name[2:])]
+            elif knob.name.startswith("re") and knob.name != "reorder":
+                value = config.reduce_factors[int(knob.name[2:])]
+            else:
+                value = {
+                    "reorder": config.reorder,
+                    "fuse": config.fuse_levels,
+                    "unroll": config.unroll_depth,
+                    "vectorize": config.vectorize,
+                    "shared": config.use_shared,
+                    "partition": config.fpga_partition,
+                    "pipeline": config.fpga_pipeline,
+                    "buffer": config.fpga_buffer_lines,
+                }[knob.name]
+            point.append(knob.index_of(value))
+        return tuple(point)
+
+    def __repr__(self):
+        return (
+            f"ScheduleSpace({self.op.name}, {self.target}, "
+            f"{len(self.knobs)} knobs, size={self.size:.3g})"
+        )
+
+
+def build_space(output, target: str) -> ScheduleSpace:
+    """Generate the pruned schedule space for the main node of ``output``."""
+    graph = output if isinstance(output, MiniGraph) else get_graph(output)
+    op = graph.main_op
+    if target == "gpu":
+        return _gpu_space(op)
+    if target == "cpu":
+        return _cpu_space(op)
+    if target == "fpga":
+        return _fpga_space(op)
+    raise ValueError(f"unknown target {target!r}")
+
+
+def _gpu_space(op: ComputeOp) -> ScheduleSpace:
+    knobs: List[Knob] = []
+    for i, axis in enumerate(op.axes):
+        knobs.append(SplitKnob(f"sp{i}", axis.extent, GPU_SPATIAL_PARTS))
+    for i, axis in enumerate(op.reduce_axes):
+        knobs.append(SplitKnob(f"re{i}", axis.extent, GPU_REDUCE_PARTS))
+    knobs.append(ChoiceKnob("reorder", list(REORDER_CHOICES)))
+    knobs.append(ChoiceKnob("unroll", list(UNROLL_CHOICES)))
+    knobs.append(ChoiceKnob("vectorize", [False, True]))
+    knobs.append(ChoiceKnob("shared", [False, True]))
+    return ScheduleSpace(op, "gpu", knobs)
+
+
+def _cpu_space(op: ComputeOp) -> ScheduleSpace:
+    knobs: List[Knob] = []
+    for i, axis in enumerate(op.axes):
+        knobs.append(SplitKnob(f"sp{i}", axis.extent, CPU_SPATIAL_PARTS))
+    for i, axis in enumerate(op.reduce_axes):
+        knobs.append(SplitKnob(f"re{i}", axis.extent, CPU_REDUCE_PARTS))
+    knobs.append(ChoiceKnob("reorder", list(REORDER_CHOICES)))
+    knobs.append(ChoiceKnob("unroll", list(UNROLL_CHOICES)))
+    knobs.append(ChoiceKnob("vectorize", [False, True]))
+    knobs.append(ChoiceKnob("fuse", list(range(1, len(op.axes) + 1))))
+    return ScheduleSpace(op, "cpu", knobs)
+
+
+def _fpga_space(op: ComputeOp) -> ScheduleSpace:
+    knobs: List[Knob] = []
+    for i, axis in enumerate(op.axes):
+        knobs.append(SplitKnob(f"sp{i}", axis.extent, FPGA_SPATIAL_PARTS))
+    for i, axis in enumerate(op.reduce_axes):
+        knobs.append(SplitKnob(f"re{i}", axis.extent, 1))
+    knobs.append(ChoiceKnob("partition", [1, 2, 4, 8, 16]))
+    knobs.append(ChoiceKnob("pipeline", [1, 2, 3]))
+    knobs.append(ChoiceKnob("buffer", [1, 2, 4, 8, 16]))
+    return ScheduleSpace(op, "fpga", knobs)
+
+
+def heuristic_seed_points(space: ScheduleSpace, count: int, rng: np.random.Generator) -> List[Point]:
+    """Seed points for the exploration: a few rule-of-thumb tilings plus
+    random points.  The rules mirror common expert starting schedules:
+    a bounded thread/worker budget distributed innermost-first across the
+    spatial axes, modest register tiles, small reduce-inner chunks."""
+    seeds: List[Point] = []
+    for desired in _seed_plans(space):
+        point = []
+        for knob in space.knobs:
+            if isinstance(knob, SplitKnob):
+                point.append(knob.index_of(
+                    closest_factorization(knob.extent, knob.parts, desired[knob.name])
+                ))
+            else:
+                point.append(_default_choice(knob))
+        seeds.append(tuple(point))
+    # Variants without shared-memory caching: operators with non-affine
+    # access patterns (grouped conv, BCM, shift) often cannot stage tiles,
+    # so at least one uncached seed must be valid from the start.
+    knob_names = [knob.name for knob in space.knobs]
+    if "shared" in knob_names:
+        position = knob_names.index("shared")
+        off = space.knob("shared").index_of(False)
+        interleaved: List[Point] = []
+        for seed in seeds:
+            variant = list(seed)
+            variant[position] = off
+            interleaved.append(seed)
+            interleaved.append(tuple(variant))
+        seeds = interleaved
+    unique: List[Point] = []
+    for seed in seeds:
+        if seed not in unique:
+            unique.append(seed)
+    seeds = unique
+    while len(seeds) < count:
+        seeds.append(space.random_point(rng))
+    return seeds[:count]
+
+
+def _div_cap(extent: int, cap: int) -> int:
+    """Largest divisor of ``extent`` that is <= cap (at least 1)."""
+    from .factorization import divisors
+
+    best = 1
+    for d in divisors(extent):
+        if d <= cap:
+            best = d
+    return best
+
+
+def _seed_plans(space: ScheduleSpace):
+    """Desired split shapes per knob for each seed (snapped to valid
+    factorizations later).  All picks are divisors of their extent, so the
+    snap cannot inflate them past hardware budgets (e.g. an extent of 111
+    must tile as 3 x 37, never a rounded 32).  Budgets are global: threads
+    multiply across axes, so the budget is spent innermost-axis-first."""
+    op = space.op
+    extents = [a.extent for a in op.axes]
+    plans = []
+    if space.target == "gpu":
+        # Spatial-first plans (direct-convolution flavour) and
+        # channel-first plans (GEMM flavour, axis 1 gets threads first).
+        for budget, inner_cap, r_inner, channel_first in (
+            (256, 2, 4, False), (64, 4, 8, False), (512, 1, 2, False),
+            (256, 1, 8, True), (128, 2, 8, True),
+        ):
+            plan = {}
+            remaining = budget
+            threads = [1] * len(extents)
+            order = list(range(len(extents) - 1, -1, -1))
+            if channel_first and len(extents) > 1:
+                order = [1] + [i for i in order if i != 1]
+            for i in order:
+                cap = 64 if channel_first else 32
+                t = _div_cap(extents[i], min(remaining, cap))
+                threads[i] = t
+                remaining = max(remaining // max(t, 1), 1)
+            for i, extent in enumerate(extents):
+                inner = _div_cap(extent // threads[i], inner_cap)
+                block = max(extent // (threads[i] * inner), 1)
+                plan[f"sp{i}"] = (block, 1, threads[i], inner)
+            for i, axis in enumerate(op.reduce_axes):
+                ri = _div_cap(axis.extent, r_inner)
+                plan[f"re{i}"] = (axis.extent // ri, ri)
+            plans.append(plan)
+    elif space.target == "cpu":
+        for inner_cap, middle_cap in ((8, 4), (8, 1), (16, 2)):
+            plan = {}
+            for i, extent in enumerate(extents):
+                if i == len(extents) - 1:
+                    inner = _div_cap(extent, inner_cap)
+                else:
+                    inner = 1
+                middle = _div_cap(extent // inner, middle_cap)
+                plan[f"sp{i}"] = (extent // (middle * inner), middle, inner)
+            for i, axis in enumerate(op.reduce_axes):
+                ri = _div_cap(axis.extent, 4)
+                plan[f"re{i}"] = (axis.extent // ri, ri)
+            plans.append(plan)
+    else:  # fpga
+        for budget in (64, 256, 16):
+            plan = {}
+            remaining = budget
+            for i in range(len(extents) - 1, -1, -1):
+                pe = _div_cap(extents[i], min(remaining, 32))
+                remaining = max(remaining // max(pe, 1), 1)
+                plan[f"sp{i}"] = (extents[i] // pe, pe)
+            for i, axis in enumerate(op.reduce_axes):
+                plan[f"re{i}"] = (axis.extent,)
+            plans.append(plan)
+    return plans
+
+
+def _default_choice(knob: ChoiceKnob) -> int:
+    defaults = {
+        "reorder": 0,
+        "unroll": 0,
+        "vectorize": True,
+        "shared": True,
+        "fuse": max(v for v in knob.choices if isinstance(v, int)) if knob.name == "fuse" else None,
+        "partition": 4,
+        "pipeline": 3,
+        "buffer": 2,
+    }
+    value = defaults.get(knob.name)
+    if value is None or value not in list(knob.choices):
+        return 0
+    return knob.index_of(value)

@@ -1,0 +1,15 @@
+"""Utilities: schedule serialization and replay."""
+
+from .serialization import (
+    config_from_dict,
+    config_to_dict,
+    graph_config_from_dict,
+    graph_config_to_dict,
+    load_schedule,
+    save_schedule,
+)
+
+__all__ = [
+    "config_from_dict", "config_to_dict", "graph_config_from_dict",
+    "graph_config_to_dict", "load_schedule", "save_schedule",
+]

@@ -1,0 +1,65 @@
+"""Serialization of schedule configurations and optimization results.
+
+Tuning is expensive; the artifacts worth keeping are tiny.  These helpers
+round-trip :class:`~repro.schedule.NodeConfig` / GraphConfig through plain
+JSON-compatible dictionaries so tuned schedules can be stored in a file
+("tophub"-style) and replayed later without re-searching.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..schedule import GraphConfig, NodeConfig
+
+
+def config_to_dict(config: NodeConfig) -> Dict:
+    """A JSON-compatible dictionary for a schedule configuration."""
+    payload = asdict(config)
+    payload["spatial_factors"] = [list(f) for f in config.spatial_factors]
+    payload["reduce_factors"] = [list(f) for f in config.reduce_factors]
+    return payload
+
+
+def config_from_dict(payload: Dict) -> NodeConfig:
+    """Inverse of :func:`config_to_dict`."""
+    data = dict(payload)
+    data["spatial_factors"] = tuple(tuple(f) for f in data["spatial_factors"])
+    data["reduce_factors"] = tuple(tuple(f) for f in data.get("reduce_factors", ()))
+    return NodeConfig(**data)
+
+
+def graph_config_to_dict(config: GraphConfig) -> Dict:
+    return {"inline": dict(config.inline)}
+
+
+def graph_config_from_dict(payload: Dict) -> GraphConfig:
+    return GraphConfig(inline=dict(payload.get("inline", {})))
+
+
+def save_schedule(
+    path: Union[str, Path],
+    config: NodeConfig,
+    graph_config: Optional[GraphConfig] = None,
+    metadata: Optional[Dict] = None,
+) -> None:
+    """Write a tuned schedule (plus free-form metadata) to a JSON file."""
+    payload = {
+        "config": config_to_dict(config),
+        "graph_config": graph_config_to_dict(graph_config or GraphConfig()),
+        "metadata": metadata or {},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_schedule(path: Union[str, Path]):
+    """Read a tuned schedule back: (NodeConfig, GraphConfig, metadata)."""
+    payload = json.loads(Path(path).read_text())
+    return (
+        config_from_dict(payload["config"]),
+        graph_config_from_dict(payload.get("graph_config", {})),
+        payload.get("metadata", {}),
+    )

@@ -1,0 +1,94 @@
+"""Terminal visualization helpers for tuning results.
+
+Pure-text rendering (no plotting dependencies): convergence charts for
+Figure-7-style curves, sparklines for sweeps, and aligned tables.  Used by
+the examples and handy in notebooks/REPLs when inspecting tuning runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Curve = Sequence[Tuple[float, float]]
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar chart: ``sparkline([1, 5, 3])`` -> ``'▁█▄'``."""
+    values = list(values)
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARKS[0] * len(values)
+    return "".join(
+        _SPARKS[min(int((v - low) / span * (len(_SPARKS) - 1) + 0.5), len(_SPARKS) - 1)]
+        for v in values
+    )
+
+
+def best_at(curve: Curve, t: float) -> float:
+    """Best performance achieved by time ``t`` on a convergence curve."""
+    best = 0.0
+    for clock, perf in curve:
+        if clock > t:
+            break
+        best = perf
+    return best
+
+
+def convergence_chart(
+    curves: Dict[str, Curve], width: int = 64, height: int = 12
+) -> str:
+    """ASCII chart of multiple convergence curves over a shared time axis.
+
+    Each curve is a list of (simulated seconds, best-so-far performance);
+    the first character of its name is the plot glyph.
+    """
+    curves = {name: list(curve) for name, curve in curves.items() if curve}
+    if not curves:
+        return "(no data)"
+    t_max = max(curve[-1][0] for curve in curves.values())
+    p_max = max(perf for curve in curves.values() for _, perf in curve)
+    if p_max <= 0:
+        return "(all curves at zero)"
+    grid = [[" "] * width for _ in range(height)]
+    for name, curve in curves.items():
+        glyph = name[0]
+        for col in range(width):
+            t = (col + 1) / width * t_max
+            perf = best_at(curve, t)
+            row = height - 1 - int(perf / p_max * (height - 1))
+            if grid[row][col] == " ":
+                grid[row][col] = glyph
+    lines = [f"best value (peak {p_max:.4g}) vs time (0..{t_max:.4g}s)"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append("legend: " + "  ".join(f"{name[0]}={name}" for name in curves))
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence, rows: Sequence[Sequence]) -> str:
+    """Aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def summarize_sweep(
+    labels: Sequence, values: Sequence[float], title: str = ""
+) -> str:
+    """A labelled sweep as 'title: <sparkline>  (best=label)'. """
+    if not values:
+        return f"{title}: (empty)"
+    best = labels[max(range(len(values)), key=lambda i: values[i])]
+    prefix = f"{title}: " if title else ""
+    return f"{prefix}{sparkline(values)}  (best={best})"

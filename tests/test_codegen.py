@@ -1,0 +1,187 @@
+"""Tests for code emission and feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    access_stride,
+    bytes_of,
+    coalescing_efficiency,
+    compile_python,
+    emit_pseudo,
+    emit_python,
+    execute_compute_op,
+    flops_of,
+    output_write_stride,
+    random_inputs,
+    reuse_factor,
+    tile_footprint,
+)
+from repro.ops import conv2d_compute, gemm_compute
+from repro.schedule import NodeConfig, lower
+
+
+def gemm_schedule(target="gpu"):
+    out = gemm_compute(8, 8, 8, name="g")
+    if target == "gpu":
+        config = NodeConfig(
+            spatial_factors=((2, 1, 2, 2), (1, 2, 2, 2)), reduce_factors=((2, 4),)
+        )
+    elif target == "cpu":
+        config = NodeConfig(
+            spatial_factors=((2, 2, 2), (2, 2, 2)), reduce_factors=((2, 4),)
+        )
+    else:
+        config = NodeConfig(spatial_factors=((2, 4), (4, 2)), reduce_factors=((8,),))
+    return out, lower(out, config, target)
+
+
+class TestEmitPython:
+    def test_source_is_compilable(self):
+        _, sch = gemm_schedule()
+        source = emit_python(sch)
+        compile(source, "<test>", "exec")
+
+    def test_annotations_become_comments(self):
+        _, sch = gemm_schedule()
+        source = emit_python(sch)
+        assert "bind blockIdx.x" in source
+        assert "bind threadIdx.x" in source
+
+    def test_function_name_parameter(self):
+        _, sch = gemm_schedule()
+        assert "def my_kernel(" in emit_python(sch, "my_kernel")
+
+    def test_compiled_kernel_runs(self):
+        out, sch = gemm_schedule()
+        kernel = compile_python(sch)
+        inputs = random_inputs(out, seed=0)
+        result = kernel({k: np.asarray(v) for k, v in inputs.items()})
+        assert result.shape == (8, 8)
+
+    def test_inlined_padding_expanded_in_source(self):
+        out = conv2d_compute(1, 2, 4, 4, 2, 3, padding=1, name="c")
+        config = NodeConfig(
+            spatial_factors=((1, 1, 1, 1), (1, 1, 2, 1), (2, 1, 2, 1), (2, 1, 2, 1)),
+            reduce_factors=((2, 1), (3, 1), (3, 1)),
+        )
+        sch = lower(out, config, "gpu")
+        source = emit_python(sch)
+        # padding inlined as a conditional expression, not a buffer read
+        assert "c_pad" not in source.replace("c_pad = buffers", "")
+        assert " if " in source
+
+
+class TestEmitPseudo:
+    @pytest.mark.parametrize("target,marker", [
+        ("gpu", "CUDA"), ("cpu", "OpenMP"), ("fpga", "HLS"),
+    ])
+    def test_target_flavour(self, target, marker):
+        _, sch = gemm_schedule(target)
+        assert marker in emit_pseudo(sch)
+
+    def test_shared_memory_declared(self):
+        _, sch = gemm_schedule("gpu")
+        assert "__shared__" in emit_pseudo(sch)
+
+
+class TestTileFootprint:
+    def setup_method(self):
+        self.out = conv2d_compute(1, 4, 8, 8, 4, 3, padding=1, name="c")
+        self.op = self.out.op
+        self.pad, self.weight = self.op.input_tensors
+
+    def test_weight_footprint(self):
+        b, k, i, j = self.op.axes
+        rc, rx, ry = self.op.reduce_axes
+        tile = {k: 2, rc: 4, rx: 3, ry: 3}
+        assert tile_footprint(self.op, self.weight, tile) == 2 * 4 * 3 * 3
+
+    def test_input_halo(self):
+        b, k, i, j = self.op.axes
+        rc, rx, ry = self.op.reduce_axes
+        tile = {i: 4, j: 4, rc: 4, rx: 3, ry: 3}
+        # spatial reach: 4 output + 2 halo = 6 per dim
+        assert tile_footprint(self.op, self.pad, tile) == 1 * 4 * 6 * 6
+
+    def test_footprint_clipped_to_tensor(self):
+        b, k, i, j = self.op.axes
+        tile = {i: 8, j: 8}
+        fp = tile_footprint(self.op, self.pad, tile)
+        assert fp <= self.pad.size
+
+    def test_unread_tensor_footprint_zero(self):
+        other = gemm_compute(4, 4, 4).op.input_tensors[0]
+        assert tile_footprint(self.op, other, {}) == 0
+
+    def test_reuse_factor_grows_with_tile(self):
+        b, k, i, j = self.op.axes
+        rc, rx, ry = self.op.reduce_axes
+        small = reuse_factor(self.op, self.weight, {k: 1, i: 1, j: 1, rc: 4, rx: 3, ry: 3})
+        large = reuse_factor(self.op, self.weight, {k: 1, i: 8, j: 8, rc: 4, rx: 3, ry: 3})
+        assert large > small
+
+
+class TestStridesAndCoalescing:
+    def setup_method(self):
+        self.out = gemm_compute(16, 16, 16, name="g")
+        self.op = self.out.op
+        self.a, self.b = self.op.input_tensors
+        self.i, self.j = self.op.axes
+        (self.k,) = self.op.reduce_axes
+
+    def test_access_strides(self):
+        assert access_stride(self.op, self.a, self.k) == 1     # A[i, k]
+        assert access_stride(self.op, self.a, self.i) == 16
+        assert access_stride(self.op, self.a, self.j) == 0     # reuse dim
+        assert access_stride(self.op, self.b, self.j) == 1     # B[k, j]
+
+    def test_coalescing_broadcast_is_perfect(self):
+        assert coalescing_efficiency(self.op, self.a, self.j, 32) == 1.0
+
+    def test_coalescing_scales_with_run_length(self):
+        short = coalescing_efficiency(self.op, self.b, self.j, 2)
+        long = coalescing_efficiency(self.op, self.b, self.j, 16)
+        assert short < long <= 1.0
+        assert short == pytest.approx(2 / 8)
+
+    def test_coalescing_strided_penalized(self):
+        eff = coalescing_efficiency(self.op, self.a, self.i, 8)  # stride 16
+        assert eff < coalescing_efficiency(self.op, self.a, self.k, 8)
+
+    def test_coalescing_none_axis_floor(self):
+        assert coalescing_efficiency(self.op, self.a, None) == pytest.approx(1 / 8)
+
+    def test_output_write_stride(self):
+        assert output_write_stride(self.op, self.j) == 1
+        assert output_write_stride(self.op, self.i) == 16
+        assert output_write_stride(self.op, self.k) == 0
+
+
+class TestFlopsAndBytes:
+    def test_gemm_flops(self):
+        out = gemm_compute(8, 4, 2)
+        assert flops_of(out.op) == 2 * 8 * 4 * 2
+
+    def test_bytes_of(self):
+        out = gemm_compute(8, 4, 2)
+        assert bytes_of(out.op.output) == 8 * 2 * 4
+
+
+class TestExecuteComputeOp:
+    def test_elementwise(self):
+        from repro.ir import compute, placeholder
+
+        a = placeholder((3,), name="A")
+        c = compute((3,), lambda i: a[i] * 2, name="C")
+        buf = {a: np.array([1.0, 2.0, 3.0])}
+        np.testing.assert_allclose(execute_compute_op(c.op, buf), [2, 4, 6])
+
+    def test_max_reduction(self):
+        from repro.ir import compute, max_reduce, placeholder, reduce_axis
+
+        a = placeholder((2, 3), name="A")
+        r = reduce_axis(3)
+        c = compute((2,), lambda i: max_reduce(a[i, r], r), name="C")
+        buf = {a: np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]])}
+        np.testing.assert_allclose(execute_compute_op(c.op, buf), [5.0, 7.0])

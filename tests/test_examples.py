@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=420):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "optimization result" in out
+    assert "numeric check on a small instance: OK" in out
+
+
+def test_heterogeneous_conv2d():
+    out = run_example("heterogeneous_conv2d.py")
+    for device in ("V100", "XeonE5-2699v4", "VU9P"):
+        assert device in out
+    assert "speedup" in out
+
+
+def test_custom_operator():
+    out = run_example("custom_operator.py")
+    assert "definition verified" in out
+    assert "BCM on V100" in out
+
+
+def test_dnn_end_to_end():
+    out = run_example("dnn_end_to_end.py")
+    assert "OverFeat" in out
+    assert "end-to-end" in out
+
+
+def test_exploration_methods():
+    out = run_example("exploration_methods.py")
+    assert "q-method" in out
+    assert "legend" in out
+
+
+def test_graph_scheduling():
+    out = run_example("graph_scheduling.py")
+    assert "numeric check: OK" in out
+    assert "softmax_max" in out and "ln_mean" in out

@@ -1,0 +1,140 @@
+"""Tests for mini-graph construction and the static analyzer, including the
+Table 3 "Analysis Results" reproduction (loop counts and node counts)."""
+
+import pytest
+
+from repro.analysis import analyze, arithmetic_intensity, operation_flops
+from repro.graph import get_graph
+from repro.ir import compute, placeholder, reduce_axis, sum_reduce
+from repro.ops import SUITES, gemm_compute
+
+
+class TestMiniGraph:
+    def test_gemm_graph_matches_figure3(self):
+        out = gemm_compute(8, 8, 8)
+        graph = get_graph(out)
+        # Figure 3: op A, op B (placeholders) and the GEMM node -> 3 nodes.
+        assert graph.num_nodes == 3
+        assert len(graph.compute_ops) == 1
+        assert len(graph.placeholders) == 2
+
+    def test_post_order_producers_first(self):
+        a = placeholder((4,), name="A")
+        b = compute((4,), lambda i: a[i] + 1, name="B")
+        c = compute((4,), lambda i: b[i] * 2, name="C")
+        graph = get_graph(c)
+        order = [op.name for op in graph.compute_ops]
+        assert order == ["B", "C"]
+
+    def test_consumers(self):
+        a = placeholder((4,), name="A")
+        b = compute((4,), lambda i: a[i] + 1, name="B")
+        c = compute((4,), lambda i: b[i] * 2, name="C")
+        graph = get_graph(c)
+        assert graph.consumers(b.op) == (c.op,)
+        assert graph.consumers(c.op) == ()
+        assert graph.consumers(a.op) == (b.op,)
+
+    def test_main_op_is_root(self):
+        out = gemm_compute(4, 4, 4)
+        graph = get_graph(out)
+        assert graph.main_op is out.op
+
+    def test_main_op_on_placeholder_rejected(self):
+        t = placeholder((4,), name="T")
+        with pytest.raises(ValueError):
+            get_graph(t).main_op
+
+    def test_diamond_graph_visited_once(self):
+        a = placeholder((4,), name="A")
+        b = compute((4,), lambda i: a[i] + 1, name="B")
+        c = compute((4,), lambda i: b[i] + b[i], name="C")
+        graph = get_graph(c)
+        assert graph.num_nodes == 3  # A, B, C — B not duplicated
+
+
+# Table 3 "Analysis Results": (#spatial+#reduce summed over compute nodes,
+# #node counting the main path's compute nodes).  The paper's C2D row reads
+# 8/3 with 2 nodes, T2D 12/3 with 3, etc.
+TABLE3 = {
+    "GMV": (1, 1, 1),
+    "GMM": (2, 1, 1),
+    "BIL": (2, 2, 1),
+    "C1D": (6, 2, 2),
+    "T1D": (9, 2, 3),
+    "C2D": (8, 3, 2),
+    "T2D": (12, 3, 3),
+    "C3D": (10, 4, 2),
+    "T3D": (15, 4, 3),
+}
+
+
+class TestTable3Analysis:
+    @pytest.mark.parametrize("opname", sorted(TABLE3))
+    def test_loop_and_node_counts(self, opname):
+        expected_sl, expected_rl, expected_nodes = TABLE3[opname]
+        workload = SUITES[opname][0]
+        result = analyze(workload.build())
+        spatial, reduce_ = result.totals()
+        assert spatial == expected_sl
+        assert reduce_ == expected_rl
+        assert result.num_nodes == expected_nodes
+
+    def test_grp_main_node_counts(self):
+        # The paper reports GRP/DEP/DIL per main conv node: 4 spatial loops.
+        result = analyze(SUITES["GRP"][0].build())
+        main = result.main()
+        assert main.num_spatial == 4
+        assert main.num_reduce == 3
+
+    def test_dil_main_node_counts(self):
+        result = analyze(SUITES["DIL"][0].build())
+        main = result.main()
+        assert main.num_spatial == 4
+        assert main.num_reduce == 3
+
+    def test_dep_main_node_counts(self):
+        result = analyze(SUITES["DEP"][0].build())
+        main = result.main()
+        assert main.num_spatial == 4
+        assert main.num_reduce == 2  # rx, ry only: depthwise has no rc
+
+
+class TestStatisticalInfo:
+    def test_gemm_statistics(self):
+        out = gemm_compute(64, 32, 16)
+        info = analyze(out).main()
+        assert info.num_spatial == 2
+        assert info.num_reduce == 1
+        assert info.spatial_trip_counts == (64, 16)
+        assert info.reduce_trip_counts == (32,)
+        assert info.iteration_space == 64 * 32 * 16
+
+    def test_order_lists_spatial_then_reduce(self):
+        out = gemm_compute(4, 4, 4)
+        info = analyze(out).main()
+        assert info.order[-1] == "rk"
+
+    def test_analyze_rejects_placeholder_only(self):
+        with pytest.raises(ValueError):
+            analyze(placeholder((4,), name="X"))
+
+
+class TestFlopsAndIntensity:
+    def test_gemm_flops(self):
+        out = gemm_compute(64, 32, 16)
+        assert operation_flops(out) == 2 * 64 * 32 * 16
+
+    def test_workload_flops_matches_formula(self):
+        wl = SUITES["C2D"][7]  # C8: 256 -> 512, 28x28, k3 s1 p1
+        assert wl.flops() == 2 * 512 * 28 * 28 * 256 * 3 * 3
+
+    def test_intensity_positive(self):
+        assert arithmetic_intensity(gemm_compute(64, 64, 64)) > 0
+
+    def test_gemm_more_intense_than_gemv(self):
+        from repro.ops import gemv_compute
+
+        gemm_i = arithmetic_intensity(gemm_compute(256, 256, 256))
+        gemv_i = arithmetic_intensity(gemv_compute(256, 256))
+        assert gemm_i > gemv_i

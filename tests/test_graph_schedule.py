@@ -1,0 +1,46 @@
+"""Tests for Algorithm 1's graph-level scheduling (Schedule_for_graph)."""
+
+import pytest
+
+from repro import optimize
+from repro.model import V100, XEON_E5_2699V4
+from repro.ops import SUITES, conv2d_compute, gemm_compute
+
+
+class TestScheduleForGraph:
+    def test_helpers_get_explicit_decisions(self):
+        out = SUITES["T1D"][0].build()
+        result = optimize(out, V100, trials=6, seed=0)
+        # both the expansion and padding nodes were decided explicitly
+        assert set(result.graph_config.inline) == {"t1d_expand", "t1d_pad"}
+
+    def test_inlining_chosen_for_data_rearrangement(self):
+        # materializing a padding node costs a memory round-trip; the graph
+        # schedule should measure that and choose to inline
+        out = conv2d_compute(1, 16, 14, 14, 32, 3, padding=1, name="c")
+        result = optimize(out, V100, trials=6, seed=0)
+        assert result.graph_config.inline.get("c_pad") is True
+
+    def test_single_node_graph_untouched(self):
+        out = gemm_compute(32, 32, 32)
+        result = optimize(out, V100, trials=4, seed=0)
+        assert result.graph_config.inline == {}
+
+    def test_final_schedule_reflects_decisions(self):
+        out = SUITES["T1D"][0].build()
+        result = optimize(out, V100, trials=6, seed=0)
+        inlined_names = {op.name for op in result.schedule.inlined}
+        expected = {
+            name for name, inline in result.graph_config.inline.items() if inline
+        }
+        assert inlined_names == expected
+
+    @pytest.mark.parametrize("device", [V100, XEON_E5_2699V4])
+    def test_reported_time_includes_materialization(self, device):
+        # if a helper ends up materialized, the kernel time must include it;
+        # with everything inlined, gflops is consistent with kernel time
+        out = SUITES["C2D"][12].build()
+        result = optimize(out, device, trials=5, seed=0)
+        assert result.gflops == pytest.approx(
+            result.evaluator.flops / result.kernel_seconds / 1e9
+        )

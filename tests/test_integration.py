@@ -1,0 +1,48 @@
+"""Integration: the full pipeline runs for every operator on every target.
+
+These are breadth tests — small trial counts, every operator family, all
+three device classes — catching lowering/model/space mismatches that
+single-operator unit tests can miss (odd extents, non-affine accesses,
+many-axis reductions, three-node graphs).
+"""
+
+import pytest
+
+from repro import optimize
+from repro.model import V100, VU9P, XEON_E5_2699V4
+from repro.ops import OPERATOR_NAMES, SUITES, bcm_workloads, shift_workloads
+
+DEVICES = {"V100": V100, "Xeon": XEON_E5_2699V4, "VU9P": VU9P}
+
+
+@pytest.mark.parametrize("opname", OPERATOR_NAMES)
+@pytest.mark.parametrize("device_name", sorted(DEVICES))
+def test_every_operator_on_every_device(opname, device_name):
+    workload = SUITES[opname][0]
+    result = optimize(
+        workload.build(), DEVICES[device_name], trials=2, num_seeds=3, seed=0
+    )
+    assert result.found, f"{opname} on {device_name} found no valid schedule"
+    assert result.gflops > 0
+    assert result.kernel_seconds < 1e3
+    # the result is self-consistent
+    assert result.config is not None
+    assert result.schedule.target == result.target
+    assert result.tuning.num_measurements >= 3
+
+
+@pytest.mark.parametrize("device_name", sorted(DEVICES))
+def test_new_operators_on_every_device(device_name):
+    for workload in (bcm_workloads()[0], shift_workloads()[0]):
+        result = optimize(
+            workload.build(), DEVICES[device_name], trials=2, num_seeds=3, seed=0
+        )
+        assert result.found, f"{workload} on {device_name}"
+
+
+def test_generated_code_compiles_for_every_operator():
+    for opname in OPERATOR_NAMES:
+        result = optimize(SUITES[opname][0].build(), V100, trials=2, num_seeds=3, seed=0)
+        source = result.generated_code()
+        compile(source, f"<{opname}>", "exec")
+        assert "def kernel" in source

@@ -1,0 +1,140 @@
+"""Unit tests for expression evaluation and affine analysis."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    Compare,
+    EvalError,
+    IterVar,
+    Max,
+    Min,
+    Select,
+    Var,
+    affine_coefficients,
+    evaluate,
+    evaluate_condition,
+    placeholder,
+    stride_of,
+    wrap,
+)
+
+
+class TestEvaluate:
+    def test_constants(self):
+        assert evaluate(wrap(5), {}) == 5
+        assert evaluate(wrap(2.5), {}) == 2.5
+
+    def test_variable_lookup_by_object_and_name(self):
+        x = Var("x")
+        assert evaluate(x, {x: 7}) == 7
+        assert evaluate(x, {"x": 9}) == 9
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(Var("nope"), {})
+
+    def test_arithmetic(self):
+        x = Var("x")
+        env = {x: 10}
+        assert evaluate(x + 3, env) == 13
+        assert evaluate(x - 3, env) == 7
+        assert evaluate(x * 3, env) == 30
+        assert evaluate(x // 3, env) == 3
+        assert evaluate(x % 3, env) == 1
+
+    def test_min_max(self):
+        x, y = Var("x"), Var("y")
+        env = {x: 2, y: 5}
+        assert evaluate(Min(x, y), env) == 2
+        assert evaluate(Max(x, y), env) == 5
+
+    def test_select(self):
+        x = Var("x")
+        sel = Select(Compare(">", x, 0), 1, -1)
+        assert evaluate(sel, {x: 5}) == 1
+        assert evaluate(sel, {x: -5}) == -1
+
+    def test_tensor_ref_reads_buffer(self):
+        t = placeholder((2, 3), name="T")
+        buf = np.arange(6.0).reshape(2, 3)
+        i, j = Var("i"), Var("j")
+        assert evaluate(t[i, j], {i: 1, j: 2}, {t: buf}) == 5.0
+
+    def test_tensor_ref_without_buffer_raises(self):
+        t = placeholder((2,), name="T")
+        with pytest.raises(EvalError):
+            evaluate(t[Var("i")], {"i": 0})
+
+    def test_condition_combinators(self):
+        x = Var("x")
+        both = Compare(">", x, 0) & Compare("<", x, 10)
+        either = Compare("<", x, 0) | Compare(">", x, 10)
+        assert evaluate_condition(both, {x: 5})
+        assert not evaluate_condition(both, {x: 15})
+        assert evaluate_condition(either, {x: 15})
+        assert not evaluate_condition(either, {x: 5})
+
+
+class TestAffineCoefficients:
+    def test_simple_affine(self):
+        i = IterVar(8, "i")
+        j = IterVar(8, "j")
+        # 3*i + 2*j + 5
+        coeffs = affine_coefficients(i * 3 + j * 2 + 5, [i, j])
+        assert coeffs == [3, 2, 5]
+
+    def test_missing_variable_coefficient_zero(self):
+        i = IterVar(8, "i")
+        j = IterVar(8, "j")
+        coeffs = affine_coefficients(i + 1, [i, j])
+        assert coeffs == [1, 0, 1]
+
+    def test_nonaffine_detected(self):
+        i = IterVar(8, "i")
+        assert affine_coefficients(i * i, [i]) is None
+        assert affine_coefficients(i // 2, [i]) is None
+        assert affine_coefficients(i % 3, [i]) is None
+
+    def test_cross_term_detected(self):
+        i = IterVar(8, "i")
+        j = IterVar(8, "j")
+        assert affine_coefficients(i * j, [i, j]) is None
+
+    def test_unprobed_variables_pinned_to_zero(self):
+        i = IterVar(8, "i")
+        r = IterVar(3, "r", kind="reduce")
+        # probing only i; r appears in the expression but is pinned to 0
+        coeffs = affine_coefficients(i * 2 + r, [i])
+        assert coeffs == [2, 0]
+
+
+class TestStrideOf:
+    def test_row_major_strides(self):
+        t = placeholder((4, 5, 6), name="T")
+        i = IterVar(4, "i")
+        j = IterVar(5, "j")
+        k = IterVar(6, "k")
+        ref = t[i, j, k]
+        assert stride_of(ref.indices, t.shape, k) == 1
+        assert stride_of(ref.indices, t.shape, j) == 6
+        assert stride_of(ref.indices, t.shape, i) == 30
+
+    def test_absent_variable_stride_zero(self):
+        t = placeholder((4, 4), name="T")
+        i = IterVar(4, "i")
+        j = IterVar(4, "j")
+        ref = t[i, i]
+        assert stride_of(ref.indices, t.shape, j) == 0
+
+    def test_shared_variable_sums_strides(self):
+        t = placeholder((4, 4), name="T")
+        i = IterVar(4, "i")
+        ref = t[i, i]  # diagonal: stride 4 + 1
+        assert stride_of(ref.indices, t.shape, i) == 5
+
+    def test_nonaffine_returns_none(self):
+        t = placeholder((4, 4), name="T")
+        i = IterVar(16, "i")
+        ref = t[i // 4, i % 4]
+        assert stride_of(ref.indices, t.shape, i) is None

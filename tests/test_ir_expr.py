@@ -1,0 +1,179 @@
+"""Unit tests for the expression AST (repro.ir.expr)."""
+
+import pytest
+
+from repro.ir import (
+    Add,
+    Compare,
+    FloatImm,
+    FloorDiv,
+    IntImm,
+    IterVar,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Reduce,
+    Select,
+    Sub,
+    Var,
+    all_of,
+    reduce_axis,
+    sum_reduce,
+    wrap,
+)
+
+
+class TestWrap:
+    def test_int_becomes_intimm(self):
+        expr = wrap(3)
+        assert isinstance(expr, IntImm)
+        assert expr.value == 3
+
+    def test_float_becomes_floatimm(self):
+        expr = wrap(2.5)
+        assert isinstance(expr, FloatImm)
+        assert expr.value == 2.5
+
+    def test_expr_passes_through(self):
+        v = Var("x")
+        assert wrap(v) is v
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            wrap(True)
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            wrap("hello")
+
+
+class TestOperatorOverloads:
+    def setup_method(self):
+        self.x = Var("x")
+        self.y = Var("y")
+
+    def test_add(self):
+        expr = self.x + self.y
+        assert isinstance(expr, Add)
+        assert expr.a is self.x and expr.b is self.y
+
+    def test_radd_wraps_constant(self):
+        expr = 1 + self.x
+        assert isinstance(expr, Add)
+        assert isinstance(expr.a, IntImm)
+
+    def test_sub_and_rsub(self):
+        assert isinstance(self.x - 1, Sub)
+        assert isinstance(1 - self.x, Sub)
+
+    def test_mul_and_rmul(self):
+        assert isinstance(self.x * 2, Mul)
+        assert isinstance(2 * self.x, Mul)
+
+    def test_floordiv_and_mod(self):
+        assert isinstance(self.x // 4, FloorDiv)
+        assert isinstance(self.x % 4, Mod)
+
+    def test_neg_is_zero_minus(self):
+        expr = -self.x
+        assert isinstance(expr, Sub)
+        assert isinstance(expr.a, IntImm) and expr.a.value == 0
+
+    def test_nested_expression_builds_tree(self):
+        expr = (self.x + 1) * (self.y - 2)
+        assert isinstance(expr, Mul)
+        assert isinstance(expr.a, Add)
+        assert isinstance(expr.b, Sub)
+
+
+class TestIterVar:
+    def test_spatial_default(self):
+        iv = IterVar(8, "i")
+        assert not iv.is_reduce
+        assert iv.extent == 8
+
+    def test_reduce_kind(self):
+        iv = IterVar(8, "r", kind="reduce")
+        assert iv.is_reduce
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            IterVar(8, "i", kind="banana")
+
+    def test_nonpositive_extent_rejected(self):
+        with pytest.raises(ValueError):
+            IterVar(0, "i")
+        with pytest.raises(ValueError):
+            IterVar(-3, "i")
+
+    def test_reduce_axis_helper(self):
+        axis = reduce_axis(16, "rk")
+        assert axis.is_reduce and axis.extent == 16 and axis.name == "rk"
+
+
+class TestReduce:
+    def test_sum_reduce_single_axis(self):
+        r = reduce_axis(4)
+        red = sum_reduce(Var("x") * 2, r)
+        assert isinstance(red, Reduce)
+        assert red.combiner == "sum"
+        assert red.axes == (r,)
+        assert red.identity == 0.0
+
+    def test_max_identity(self):
+        from repro.ir import max_reduce
+
+        r = reduce_axis(4)
+        red = max_reduce(Var("x"), r)
+        assert red.identity == float("-inf")
+
+    def test_spatial_axis_rejected(self):
+        s = IterVar(4, "i")  # spatial
+        with pytest.raises(ValueError):
+            Reduce("sum", Var("x"), (s,))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            Reduce("sum", Var("x"), ())
+
+    def test_unknown_combiner_rejected(self):
+        r = reduce_axis(4)
+        with pytest.raises(ValueError):
+            Reduce("median", Var("x"), (r,))
+
+
+class TestConditions:
+    def test_compare_ops(self):
+        x = Var("x")
+        for op in ("<", "<=", ">", ">=", "==", "!="):
+            cond = Compare(op, x, 3)
+            assert cond.op == op
+
+    def test_bad_compare_op(self):
+        with pytest.raises(ValueError):
+            Compare("~=", Var("x"), 1)
+
+    def test_all_of_combines(self):
+        x = Var("x")
+        combined = all_of([Compare(">", x, 0), Compare("<", x, 10)])
+        from repro.ir import And
+
+        assert isinstance(combined, And)
+
+    def test_all_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            all_of([])
+
+    def test_select_wraps_values(self):
+        cond = Compare(">", Var("x"), 0)
+        sel = Select(cond, 1, 0.0)
+        assert isinstance(sel.then_value, IntImm)
+        assert isinstance(sel.else_value, FloatImm)
+
+
+class TestMinMax:
+    def test_min_max_nodes(self):
+        x, y = Var("x"), Var("y")
+        assert isinstance(Min(x, y), Min)
+        assert isinstance(Max(x, y), Max)

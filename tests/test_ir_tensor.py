@@ -1,0 +1,141 @@
+"""Unit tests for tensors, operations and the printer."""
+
+import pytest
+
+from repro.ir import (
+    ComputeOp,
+    PlaceholderOp,
+    Reduce,
+    compute,
+    count_flops_per_point,
+    format_expr,
+    format_operation,
+    format_tensor,
+    placeholder,
+    reduce_axis,
+    same_structure,
+    sum_reduce,
+)
+
+
+class TestPlaceholder:
+    def test_shape_and_op(self):
+        t = placeholder((2, 3), name="A")
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+        assert isinstance(t.op, PlaceholderOp)
+        assert t.op.input_tensors == ()
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            placeholder((0, 3))
+
+    def test_auto_name(self):
+        a = placeholder((1,))
+        b = placeholder((1,))
+        assert a.name != b.name
+
+    def test_indexing_arity_checked(self):
+        t = placeholder((2, 3), name="A")
+        with pytest.raises(ValueError):
+            t[0]
+
+
+class TestCompute:
+    def test_elementwise(self):
+        a = placeholder((4, 4), name="A")
+        c = compute((4, 4), lambda i, j: a[i, j] * 2, name="C")
+        op = c.op
+        assert isinstance(op, ComputeOp)
+        assert len(op.axes) == 2
+        assert op.reduce_axes == ()
+        assert op.input_tensors == (a,)
+
+    def test_reduction_collects_axes(self):
+        a = placeholder((4, 8), name="A")
+        b = placeholder((8,), name="B")
+        rk = reduce_axis(8, "rk")
+        c = compute((4,), lambda i: sum_reduce(a[i, rk] * b[rk], rk), name="C")
+        op = c.op
+        assert op.reduce_axes == (rk,)
+        assert set(op.input_tensors) == {a, b}
+        assert len(op.all_axes) == 2
+
+    def test_duplicate_input_collected_once(self):
+        a = placeholder((4,), name="A")
+        c = compute((4,), lambda i: a[i] + a[i], name="C")
+        assert c.op.input_tensors == (a,)
+
+    def test_axis_extents_match_shape(self):
+        c = compute((3, 5), lambda i, j: i + j, name="C")
+        assert [ax.extent for ax in c.op.axes] == [3, 5]
+
+
+class TestFlopsCounting:
+    def test_mac_counts_two(self):
+        a = placeholder((4, 8), name="A")
+        b = placeholder((8,), name="B")
+        rk = reduce_axis(8)
+        c = compute((4,), lambda i: sum_reduce(a[i, rk] * b[rk], rk))
+        assert count_flops_per_point(c.op.body) == 2  # mul + accumulate
+
+    def test_index_arithmetic_not_counted(self):
+        # conv-style read: the i*2 + r in the index is address math
+        a = placeholder((32,), name="A")
+        w = placeholder((3,), name="W")
+        r = reduce_axis(3)
+        c = compute((8,), lambda i: sum_reduce(a[i * 2 + r] * w[r], r))
+        assert count_flops_per_point(c.op.body) == 2
+
+    def test_three_operand_product(self):
+        a = placeholder((4,), name="A")
+        b = placeholder((4,), name="B")
+        c = placeholder((4,), name="C")
+        r = reduce_axis(4)
+        out = compute((1,), lambda i: sum_reduce(a[r] * b[r] * c[r], r))
+        assert count_flops_per_point(out.op.body) == 3  # 2 muls + accumulate
+
+
+class TestPrinter:
+    def test_format_expr_renders_math(self):
+        a = placeholder((4, 4), name="A")
+        i = a.op.output.op  # placeholder op; use fresh vars instead
+        from repro.ir import Var
+
+        x, y = Var("x"), Var("y")
+        text = format_expr(a[x, y] * 2 + 1)
+        assert "A[x, y]" in text and "*" in text and "+" in text
+
+    def test_format_operation_shows_loops(self):
+        a = placeholder((4, 8), name="A")
+        b = placeholder((8, 4), name="B")
+        rk = reduce_axis(8, "rk")
+        c = compute((4, 4), lambda i, j: sum_reduce(a[i, rk] * b[rk, j], rk), name="C")
+        text = format_operation(c.op)
+        assert "spatial" in text and "reduce" in text
+        assert "C[" in text and "+=" in text
+
+    def test_format_tensor(self):
+        t = placeholder((2, 3), name="T")
+        assert format_tensor(t) == "T: float32[2, 3]"
+
+
+class TestSameStructure:
+    def test_identical_trees_match(self):
+        a = placeholder((4,), name="A")
+        from repro.ir import Var
+
+        x = Var("x")
+        assert same_structure(a[x] + 1, a[x] + 1)
+
+    def test_different_constants_differ(self):
+        from repro.ir import Var
+
+        x = Var("x")
+        assert not same_structure(x + 1, x + 2)
+
+    def test_different_vars_differ(self):
+        from repro.ir import Var
+
+        assert not same_structure(Var("x"), Var("x"))  # identity, not name

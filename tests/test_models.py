@@ -1,0 +1,263 @@
+"""Tests for the analytical machine models: hard constraints, qualitative
+monotonicities, and the §5.2 FPGA equation."""
+
+import pytest
+
+from repro.model import (
+    CpuModel,
+    FpgaModel,
+    GpuModel,
+    INVALID_TIME,
+    P100,
+    TITAN_X,
+    V100,
+    VU9P,
+    XEON_E5_2699V4,
+    model_for,
+    target_of,
+)
+from repro.ops import conv2d_compute, gemm_compute
+from repro.schedule import NodeConfig, lower
+
+
+def gpu_schedule(out, **overrides):
+    base = dict(
+        spatial_factors=((8, 1, 16, 1), (8, 1, 16, 1)),
+        reduce_factors=((32, 8),),
+    )
+    base.update(overrides)
+    return lower(out, NodeConfig(**base), "gpu")
+
+
+class TestGpuModel:
+    def setup_method(self):
+        self.out = gemm_compute(128, 256, 128, name="g")
+        self.model = GpuModel(V100)
+
+    def test_reasonable_range(self):
+        seconds = self.model.estimate_seconds(gpu_schedule(self.out))
+        assert 1e-6 < seconds < 1e-1
+
+    def test_too_many_threads_invalid(self):
+        sch = gpu_schedule(
+            self.out,
+            spatial_factors=((2, 1, 64, 1), (2, 1, 64, 1)),  # 4096 threads
+        )
+        assert self.model.estimate_seconds(sch) == INVALID_TIME
+
+    def test_shared_memory_overflow_invalid(self):
+        out = gemm_compute(1024, 4096, 1024, name="g")
+        sch = lower(out, NodeConfig(
+            spatial_factors=((4, 1, 16, 16), (4, 1, 16, 16)),
+            reduce_factors=((4, 1024),),  # giant reduce tile -> giant smem
+        ), "gpu")
+        assert self.model.estimate_seconds(sch) == INVALID_TIME
+
+    def test_single_thread_much_slower(self):
+        serial = gpu_schedule(
+            self.out,
+            spatial_factors=((1, 1, 1, 128), (1, 1, 1, 128)),
+        )
+        parallel = gpu_schedule(self.out)
+        assert self.model.estimate_seconds(serial) > 5 * self.model.estimate_seconds(parallel)
+
+    def test_full_warps_beat_ragged_warps(self):
+        out = gemm_compute(96, 64, 96, name="g")
+        ragged = lower(out, NodeConfig(
+            spatial_factors=((16, 1, 6, 1), (16, 1, 6, 1)),   # 36 threads
+            reduce_factors=((16, 4),),
+        ), "gpu")
+        full = lower(out, NodeConfig(
+            spatial_factors=((12, 1, 8, 1), (12, 1, 8, 1)),   # 64 threads
+            reduce_factors=((16, 4),),
+        ), "gpu")
+        ragged_eff = self.model.gflops(ragged)
+        full_eff = self.model.gflops(full)
+        assert full_eff > ragged_eff
+
+    def test_gflops_inverse_of_time(self):
+        sch = gpu_schedule(self.out)
+        seconds = self.model.estimate_seconds(sch)
+        from repro.codegen import flops_of
+
+        assert self.model.gflops(sch) == pytest.approx(
+            flops_of(self.out.op) / seconds / 1e9
+        )
+
+    def test_devices_ranked_by_capability(self):
+        # a large kernel with plenty of blocks: raw capability dominates
+        big = gemm_compute(2048, 1024, 2048, name="g")
+        sch = lower(big, NodeConfig(
+            spatial_factors=((32, 2, 16, 2), (32, 2, 16, 2)),
+            reduce_factors=((128, 8),),
+        ), "gpu")
+        v100 = GpuModel(V100).estimate_seconds(sch)
+        p100 = GpuModel(P100).estimate_seconds(sch)
+        titan = GpuModel(TITAN_X).estimate_seconds(sch)
+        assert v100 < p100
+        assert v100 < titan
+
+    def test_measurement_cost_includes_compile(self):
+        assert self.model.measurement_seconds(0.001) >= V100.compile_seconds
+
+    def test_wrong_target_rejected(self):
+        out = gemm_compute(8, 8, 8)
+        cpu_sch = lower(out, NodeConfig(
+            spatial_factors=((2, 2, 2), (2, 2, 2)), reduce_factors=((2, 4),)
+        ), "cpu")
+        with pytest.raises(ValueError):
+            self.model.estimate_seconds(cpu_sch)
+
+
+class TestCpuModel:
+    def setup_method(self):
+        self.out = gemm_compute(128, 128, 128, name="g")
+        self.model = CpuModel(XEON_E5_2699V4)
+
+    def cpu_schedule(self, **overrides):
+        base = dict(
+            spatial_factors=((16, 2, 4), (4, 4, 8)),
+            reduce_factors=((32, 4),),
+            fuse_levels=2,
+        )
+        base.update(overrides)
+        return lower(self.out, NodeConfig(**base), "cpu")
+
+    def test_reasonable_range(self):
+        seconds = self.model.estimate_seconds(self.cpu_schedule())
+        assert 1e-6 < seconds < 1.0
+
+    def test_parallelism_helps(self):
+        serial = self.cpu_schedule(
+            spatial_factors=((1, 2, 64), (1, 4, 32)), fuse_levels=2
+        )
+        parallel = self.cpu_schedule()
+        assert self.model.estimate_seconds(parallel) < self.model.estimate_seconds(serial)
+
+    def test_vectorization_helps(self):
+        vec = self.cpu_schedule(vectorize=True)
+        scalar = self.cpu_schedule(vectorize=False)
+        assert self.model.estimate_seconds(vec) < self.model.estimate_seconds(scalar)
+
+    def test_avx2_lane_count_is_eight(self):
+        # the paper: schedules converge to vectorization length 8 on Xeon
+        assert XEON_E5_2699V4.vector_lanes == 8
+
+    def test_peak_gflops_formula(self):
+        spec = XEON_E5_2699V4
+        assert spec.peak_gflops == pytest.approx(8 * 2 * 2 * 2.2 * 22)
+
+
+class TestFpgaModel:
+    def setup_method(self):
+        self.out = gemm_compute(256, 64, 256, name="g")
+        self.model = FpgaModel(VU9P)
+
+    def fpga_schedule(self, **overrides):
+        base = dict(
+            spatial_factors=((16, 16), (16, 16)),
+            reduce_factors=((64,),),
+            fpga_partition=4,
+            fpga_pipeline=3,
+            fpga_buffer_lines=2,
+        )
+        base.update(overrides)
+        return lower(self.out, NodeConfig(**base), "fpga")
+
+    def test_reasonable_range(self):
+        seconds = self.model.estimate_seconds(self.fpga_schedule())
+        assert 1e-6 < seconds < 10.0
+
+    def test_cannot_exceed_pe_peak(self):
+        # FLOPS can never beat 2 ops/cycle/PE at the clock rate
+        sch = self.fpga_schedule()
+        peak = 2 * sch.parallel_extent * VU9P.mhz * 1e6 / 1e9
+        assert self.model.gflops(sch) <= peak * 1.001
+
+    def test_too_many_pes_invalid(self):
+        out = gemm_compute(4096, 16, 4096, name="g")
+        sch = lower(out, NodeConfig(
+            spatial_factors=((32, 128), (32, 128)),  # 16384 PEs
+            reduce_factors=((16,),),
+        ), "fpga")
+        assert self.model.estimate_seconds(sch) == INVALID_TIME
+
+    def test_more_pipeline_stages_never_slower(self):
+        times = [
+            self.model.estimate_seconds(self.fpga_schedule(fpga_pipeline=stages))
+            for stages in (1, 2, 3)
+        ]
+        assert times[0] >= times[1] >= times[2]
+
+    def test_partitioning_helps_bandwidth_bound(self):
+        narrow = self.model.estimate_seconds(self.fpga_schedule(fpga_partition=1, fpga_buffer_lines=1))
+        wide = self.model.estimate_seconds(self.fpga_schedule(fpga_partition=16, fpga_buffer_lines=1))
+        assert wide <= narrow
+
+    def test_measurement_is_model_query(self):
+        # hours of synthesis are never charged: the model answers in ms
+        assert self.model.measurement_seconds(10.0) == VU9P.model_query_seconds
+
+
+class TestModelFactory:
+    def test_model_for_dispatch(self):
+        assert isinstance(model_for(V100), GpuModel)
+        assert isinstance(model_for(XEON_E5_2699V4), CpuModel)
+        assert isinstance(model_for(VU9P), FpgaModel)
+        with pytest.raises(TypeError):
+            model_for(object())
+
+    def test_target_of(self):
+        assert target_of(V100) == "gpu"
+        assert target_of(XEON_E5_2699V4) == "cpu"
+        assert target_of(VU9P) == "fpga"
+
+
+class TestFpgaResourceReport:
+    def make(self, pe_k=16, pe_m=16, buffer_lines=2):
+        from repro.model import fpga_resource_report
+
+        out = gemm_compute(256, 64, 256, name="g")
+        sch = lower(out, NodeConfig(
+            spatial_factors=((256 // pe_k, pe_k), (256 // pe_m, pe_m)),
+            reduce_factors=((64,),),
+            fpga_buffer_lines=buffer_lines,
+        ), "fpga")
+        return fpga_resource_report(sch, VU9P)
+
+    def test_dsp_accounting(self):
+        report = self.make()
+        assert report.num_pes == 256
+        assert report.dsps_used == 256 * VU9P.dsps_per_pe
+        assert report.fits
+
+    def test_bram_grows_with_buffering(self):
+        small = self.make(buffer_lines=1)
+        big = self.make(buffer_lines=8)
+        assert big.bram_bytes_used == 8 * small.bram_bytes_used
+
+    def test_summary_mentions_budget(self):
+        text = self.make().summary()
+        assert "DSP" in text and "BRAM" in text and "pipeline" in text
+
+    def test_over_budget_flagged(self):
+        from repro.model import fpga_resource_report
+
+        out = gemm_compute(4096, 16, 4096, name="g")
+        sch = lower(out, NodeConfig(
+            spatial_factors=((32, 128), (32, 128)),
+            reduce_factors=((16,),),
+        ), "fpga")
+        report = fpga_resource_report(sch, VU9P)
+        assert not report.fits
+        assert "OVER BUDGET" in report.summary()
+
+    def test_non_fpga_schedule_rejected(self):
+        from repro.model import fpga_resource_report
+
+        out = gemm_compute(8, 8, 8, name="g")
+        sch = lower(out, NodeConfig(
+            spatial_factors=((2, 1, 2, 2), (1, 2, 2, 2)), reduce_factors=((2, 4),)
+        ), "gpu")
+        with pytest.raises(ValueError):
+            fpga_resource_report(sch, VU9P)

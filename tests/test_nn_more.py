@@ -1,0 +1,92 @@
+"""Additional coverage for the network case-study module."""
+
+import pytest
+
+from repro.model import V100, XEON_E5_2699V4
+from repro.nn import (
+    LayerSpec,
+    Network,
+    NetworkResult,
+    optimize_network,
+    overfeat,
+    partition_network,
+    yolo_v1,
+)
+from repro.nn.network import _epilogue_seconds
+from repro.ops import Workload, yolo_conv2d_workload
+
+
+def tiny_layer(multiplicity=1):
+    return LayerSpec(
+        Workload("C2D", "tiny", dict(
+            batch=1, in_channel=8, height=8, width=8, out_channel=8,
+            kernel=3, stride=1, padding=1)),
+        multiplicity=multiplicity,
+    )
+
+
+class TestNetworkStructure:
+    def test_yolo_multiplicities_match_architecture(self):
+        net = yolo_v1()
+        counts = {l.workload.name: l.multiplicity for l in net.layers}
+        # the repeated 1x1/3x3 pairs in the middle of the network
+        assert counts["C7"] == 4 and counts["C8"] == 4
+        assert counts["C11"] == 2 and counts["C12"] == 2
+
+    def test_batch_parameter_propagates(self):
+        net = yolo_v1(batch=4)
+        assert all(l.workload.params["batch"] == 4 for l in net.layers)
+
+    def test_overfeat_first_layer_shape(self):
+        first = overfeat().layers[0].workload.params
+        assert first["in_channel"] == 3
+        assert first["kernel"] == 11
+        assert first["stride"] == 4
+
+    def test_total_flops_scales_with_multiplicity(self):
+        single = Network("a", [tiny_layer(1)])
+        double = Network("b", [tiny_layer(2)])
+        assert double.total_flops() == 2 * single.total_flops()
+
+
+class TestEpilogueCost:
+    def test_fused_epilogue_is_free(self):
+        wl = yolo_conv2d_workload(13)
+        assert _epilogue_seconds(wl, V100, fused=True) == 0.0
+
+    def test_unfused_epilogue_scales_with_output(self):
+        small = yolo_conv2d_workload(15)   # 7x7 spatial
+        large = yolo_conv2d_workload(2)    # 112x112 spatial
+        cost_small = _epilogue_seconds(small, V100, fused=False)
+        cost_large = _epilogue_seconds(large, V100, fused=False)
+        assert cost_large > cost_small > 0
+
+    def test_cpu_device_uses_its_bandwidth(self):
+        wl = yolo_conv2d_workload(13)
+        gpu_cost = _epilogue_seconds(wl, V100, fused=False)
+        cpu_cost = _epilogue_seconds(wl, XEON_E5_2699V4, fused=False)
+        assert cpu_cost > gpu_cost  # less bandwidth -> pricier pass
+
+
+class TestNetworkResults:
+    def test_gflops_aggregates_all_layers(self):
+        net = Network("t", [tiny_layer(3)])
+        result = optimize_network(net, V100, trials=3, seed=0)
+        assert isinstance(result, NetworkResult)
+        expected = net.total_flops() / result.total_seconds / 1e9
+        assert result.gflops == pytest.approx(expected)
+
+    def test_tuner_kwargs_forwarded(self):
+        # extra tuner kwargs reach optimize(): different seeding changes
+        # the search trajectory but both runs stay valid
+        net = Network("t", [tiny_layer(1)])
+        a = optimize_network(net, V100, trials=2, seed=0, num_seeds=2)
+        b = optimize_network(net, V100, trials=2, seed=0, num_seeds=10)
+        assert a.total_seconds > 0 and b.total_seconds > 0
+        with pytest.raises(TypeError):
+            optimize_network(net, V100, trials=1, seed=0, bogus_option=1)
+
+    def test_methods_recorded(self):
+        net = Network("t", [tiny_layer(1)])
+        result = optimize_network(net, V100, trials=2, method="random-walk", seed=0)
+        assert result.method == "random-walk"

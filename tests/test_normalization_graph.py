@@ -1,0 +1,156 @@
+"""Tests for unary math, softmax/layernorm, and multi-node graph
+optimization (Algorithm 1 lines 4-7 via optimize_graph)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import optimize, optimize_graph
+from repro.codegen import (
+    emit_python,
+    execute_reference,
+    execute_scheduled,
+    random_inputs,
+    run_generated,
+)
+from repro.graph import get_graph
+from repro.ir import Div, Unary, compute, evaluate, exp, log, placeholder, relu, sqrt, tanh
+from repro.model import V100, XEON_E5_2699V4
+from repro.ops import (
+    layernorm_compute,
+    layernorm_reference,
+    softmax_compute,
+    softmax_reference,
+)
+from repro.schedule import lower
+from repro.space import build_space
+
+
+class TestUnaryNodes:
+    @pytest.mark.parametrize("fn,pyfn", [
+        (exp, math.exp), (log, math.log), (sqrt, math.sqrt), (tanh, math.tanh),
+    ])
+    def test_evaluation(self, fn, pyfn):
+        from repro.ir import Var
+
+        x = Var("x")
+        assert evaluate(fn(x), {x: 2.0}) == pytest.approx(pyfn(2.0))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            Unary("sin", 1.0)
+
+    def test_relu_uses_max(self):
+        from repro.ir import Max, Var
+
+        assert isinstance(relu(Var("x")), Max)
+
+    def test_division(self):
+        from repro.ir import Var
+
+        x = Var("x")
+        assert evaluate(x / 4.0, {x: 10.0}) == pytest.approx(2.5)
+        assert isinstance(x / 2.0, Div)
+
+    def test_flop_counting_includes_transcendentals(self):
+        from repro.ir import count_flops_per_point
+
+        a = placeholder((4,), name="A")
+        c = compute((4,), lambda i: exp(a[i]) * 2.0, name="C")
+        assert count_flops_per_point(c.op.body) == 2  # exp + mul
+
+
+class TestSoftmax:
+    def test_reference_match(self):
+        out = softmax_compute(5, 7, name="s")
+        inputs = random_inputs(out, seed=0)
+        got = execute_reference(out, inputs)
+        np.testing.assert_allclose(got, softmax_reference(inputs["s_X"]), atol=1e-12)
+
+    def test_rows_sum_to_one(self):
+        out = softmax_compute(3, 9, name="s")
+        inputs = random_inputs(out, seed=1)
+        got = execute_reference(out, inputs)
+        np.testing.assert_allclose(got.sum(axis=1), np.ones(3))
+
+    def test_graph_has_three_compute_nodes(self):
+        graph = get_graph(softmax_compute(4, 4, name="s"))
+        assert len(graph.compute_ops) == 3
+
+    def test_reduce_helpers_never_inlined(self):
+        out = softmax_compute(4, 8, name="s")
+        space = build_space(out, "gpu")
+        rng = np.random.default_rng(0)
+        scheduled = lower(out, space.decode(space.random_point(rng)), "gpu")
+        # helper reductions must be materialized, not inlined
+        assert scheduled.inlined == ()
+
+    def test_scheduled_execution_correct(self):
+        out = softmax_compute(4, 8, name="s")
+        space = build_space(out, "cpu")
+        rng = np.random.default_rng(2)
+        inputs = random_inputs(out, seed=2)
+        expected = softmax_reference(inputs["s_X"])
+        for _ in range(3):
+            scheduled = lower(out, space.decode(space.random_point(rng)), "cpu")
+            got = execute_scheduled(scheduled, inputs)
+            np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_generated_code_with_unary_math(self):
+        out = softmax_compute(4, 4, name="s")
+        space = build_space(out, "gpu")
+        rng = np.random.default_rng(3)
+        scheduled = lower(out, space.decode(space.random_point(rng)), "gpu")
+        source = emit_python(scheduled)
+        assert "math.exp" in source
+        inputs = random_inputs(out, seed=3)
+        got = run_generated(scheduled, inputs)
+        np.testing.assert_allclose(got, softmax_reference(inputs["s_X"]), atol=1e-9)
+
+
+class TestLayerNorm:
+    def test_reference_match(self):
+        out = layernorm_compute(4, 16, name="l")
+        inputs = random_inputs(out, seed=4)
+        got = execute_reference(out, inputs)
+        np.testing.assert_allclose(
+            got, layernorm_reference(inputs["l_X"]), atol=1e-9
+        )
+
+    def test_normalized_statistics(self):
+        out = layernorm_compute(3, 64, name="l")
+        inputs = random_inputs(out, seed=5)
+        got = execute_reference(out, inputs)
+        np.testing.assert_allclose(got.mean(axis=1), np.zeros(3), atol=1e-9)
+        np.testing.assert_allclose(got.std(axis=1), np.ones(3), atol=1e-3)
+
+
+class TestOptimizeGraph:
+    def test_softmax_schedules_three_nodes(self):
+        result = optimize_graph(softmax_compute(64, 128), V100, trials=4, seed=0)
+        assert len(result.node_results) == 3
+        assert result.node_order[-1].startswith("softmax")
+        assert result.total_seconds > 0
+        assert result.gflops > 0
+
+    def test_layernorm_schedules_three_nodes(self):
+        result = optimize_graph(layernorm_compute(64, 128), XEON_E5_2699V4, trials=4, seed=0)
+        # mean, variance, normalize
+        assert len(result.node_results) == 3
+
+    def test_single_node_graph_degenerates_to_optimize(self):
+        from repro.ops import gemm_compute
+
+        out = gemm_compute(16, 16, 16)
+        graph_result = optimize_graph(out, V100, trials=4, seed=0)
+        assert len(graph_result.node_results) == 1
+        single = optimize(out, V100, trials=4, seed=0)
+        only = next(iter(graph_result.node_results.values()))
+        assert only.gflops == pytest.approx(single.gflops)
+
+    def test_summary_mentions_every_node(self):
+        result = optimize_graph(softmax_compute(32, 64), V100, trials=3, seed=0)
+        text = result.summary()
+        for name in result.node_order:
+            assert name in text

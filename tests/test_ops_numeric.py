@@ -1,0 +1,185 @@
+"""Numeric correctness of every operator: the IR reference executor must
+agree with the numpy reference implementation on small shapes."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import execute_reference, random_inputs
+from repro.ops import (
+    bilinear_compute,
+    bilinear_reference,
+    block_circulant_matmul_compute,
+    block_circulant_matmul_reference,
+    conv1d_compute,
+    conv1d_reference,
+    conv1d_transposed_compute,
+    conv1d_transposed_reference,
+    conv2d_compute,
+    conv2d_reference,
+    conv2d_transposed_compute,
+    conv2d_transposed_reference,
+    conv3d_compute,
+    conv3d_reference,
+    conv3d_transposed_compute,
+    conv3d_transposed_reference,
+    conv_out_size,
+    depthwise_conv2d_compute,
+    depthwise_conv2d_reference,
+    gemm_compute,
+    gemm_reference,
+    gemv_compute,
+    gemv_reference,
+    shift_compute,
+    shift_reference,
+    transposed_out_size,
+)
+
+
+def run_ir(output, seed=0):
+    inputs = random_inputs(output, seed=seed)
+    return execute_reference(output, inputs), inputs
+
+
+class TestLinalg:
+    def test_gemv(self):
+        out = gemv_compute(5, 7, name="g")
+        got, inputs = run_ir(out)
+        np.testing.assert_allclose(got, gemv_reference(inputs["g_A"], inputs["g_B"]))
+
+    def test_gemm(self):
+        out = gemm_compute(4, 6, 5, name="g")
+        got, inputs = run_ir(out)
+        np.testing.assert_allclose(got, gemm_reference(inputs["g_A"], inputs["g_B"]))
+
+    def test_bilinear(self):
+        out = bilinear_compute(3, 4, 5, 6, name="b")
+        got, inputs = run_ir(out)
+        np.testing.assert_allclose(
+            got, bilinear_reference(inputs["b_A"], inputs["b_B"], inputs["b_C"])
+        )
+
+
+class TestConv1d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 2)])
+    def test_conv1d(self, stride, padding):
+        out = conv1d_compute(2, 3, 10, 4, 3, stride=stride, padding=padding, name="c")
+        got, inputs = run_ir(out)
+        ref = conv1d_reference(inputs["c_I"], inputs["c_W"], stride, padding)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (2, 0)])
+    def test_transposed(self, stride, padding):
+        out = conv1d_transposed_compute(1, 3, 6, 2, 3, stride=stride, padding=padding, name="t")
+        got, inputs = run_ir(out)
+        ref = conv1d_transposed_reference(inputs["t_I"], inputs["t_W"], stride, padding)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_padding_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            conv1d_transposed_compute(1, 1, 4, 1, 3, stride=1, padding=3)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_plain(self, stride, padding):
+        out = conv2d_compute(1, 3, 6, 6, 4, 3, stride=stride, padding=padding, name="c")
+        got, inputs = run_ir(out)
+        ref = conv2d_reference(inputs["c_I"], inputs["c_W"], stride, padding)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_dilated(self):
+        out = conv2d_compute(1, 2, 8, 8, 3, 3, padding=2, dilation=2, name="c")
+        got, inputs = run_ir(out)
+        ref = conv2d_reference(inputs["c_I"], inputs["c_W"], 1, 2, dilation=2)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    @pytest.mark.parametrize("groups", [2, 4])
+    def test_grouped(self, groups):
+        out = conv2d_compute(1, 4, 6, 6, 8, 3, padding=1, groups=groups, name="c")
+        got, inputs = run_ir(out)
+        ref = conv2d_reference(inputs["c_I"], inputs["c_W"], 1, 1, groups=groups)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_groups_must_divide(self):
+        with pytest.raises(ValueError):
+            conv2d_compute(1, 3, 6, 6, 4, 3, groups=2)
+
+    @pytest.mark.parametrize("multiplier", [1, 2])
+    def test_depthwise(self, multiplier):
+        out = depthwise_conv2d_compute(1, 3, 6, 6, multiplier, 3, padding=1, name="d")
+        got, inputs = run_ir(out)
+        ref = depthwise_conv2d_reference(inputs["d_I"], inputs["d_W"], multiplier, 1, 1)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_transposed(self, stride):
+        out = conv2d_transposed_compute(1, 2, 4, 4, 3, 3, stride=stride, padding=1, name="t")
+        got, inputs = run_ir(out)
+        ref = conv2d_transposed_reference(inputs["t_I"], inputs["t_W"], stride, 1)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+
+class TestConv3d:
+    def test_plain(self):
+        out = conv3d_compute(1, 2, 4, 4, 4, 3, 2, stride=1, padding=1, name="c")
+        got, inputs = run_ir(out)
+        ref = conv3d_reference(inputs["c_I"], inputs["c_W"], 1, 1)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_transposed(self):
+        out = conv3d_transposed_compute(1, 2, 3, 3, 3, 2, 2, stride=2, padding=0, name="t")
+        got, inputs = run_ir(out)
+        ref = conv3d_transposed_reference(inputs["t_I"], inputs["t_W"], 2, 0)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+
+class TestSpecialOperators:
+    @pytest.mark.parametrize("block", [2, 4])
+    def test_bcm(self, block):
+        out = block_circulant_matmul_compute(2, 8, 8, block, name="m")
+        got, inputs = run_ir(out)
+        ref = block_circulant_matmul_reference(inputs["m_X"], inputs["m_W"], block)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_bcm_block_must_divide(self):
+        with pytest.raises(ValueError):
+            block_circulant_matmul_compute(1, 9, 8, 4)
+
+    def test_shift(self):
+        out = shift_compute(2, 9, 5, 5, name="s")
+        got, inputs = run_ir(out)
+        np.testing.assert_allclose(got, shift_reference(inputs["s_I"]), atol=1e-12)
+
+    def test_shift_is_zero_flop_permutation(self):
+        # every output element equals some input element (or padding zero)
+        out = shift_compute(1, 9, 4, 4, name="s")
+        got, inputs = run_ir(out, seed=3)
+        values = set(np.round(inputs["s_I"].ravel(), 9)) | {0.0}
+        assert all(np.round(v, 9) in values for v in got.ravel())
+
+
+class TestOutputSizes:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,dilation,expected",
+        [
+            (8, 3, 1, 0, 1, 6),
+            (8, 3, 1, 1, 1, 8),
+            (8, 3, 2, 1, 1, 4),
+            (9, 3, 1, 2, 2, 9),
+        ],
+    )
+    def test_conv_out_size(self, size, kernel, stride, padding, dilation, expected):
+        assert conv_out_size(size, kernel, stride, padding, dilation) == expected
+
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [(4, 3, 1, 0, 6), (4, 3, 2, 1, 7), (5, 4, 2, 0, 12)],
+    )
+    def test_transposed_out_size(self, size, kernel, stride, padding, expected):
+        assert transposed_out_size(size, kernel, stride, padding) == expected
+
+    def test_transpose_inverts_conv_shape(self):
+        # transposed conv restores the pre-conv spatial size
+        size, kernel, stride, padding = 9, 3, 2, 1
+        down = conv_out_size(size, kernel, stride, padding)
+        assert transposed_out_size(down, kernel, stride, padding) == size

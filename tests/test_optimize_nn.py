@@ -1,0 +1,141 @@
+"""End-to-end tests: the public optimize() API and the DNN case study."""
+
+import numpy as np
+import pytest
+
+from repro import OptimizeResult, optimize
+from repro.codegen import execute_scheduled, random_inputs
+from repro.model import V100, VU9P, XEON_E5_2699V4
+from repro.nn import (
+    Network,
+    optimize_network,
+    overfeat,
+    partition_network,
+    yolo_v1,
+)
+from repro.ops import SUITES, conv2d_compute, conv2d_reference, gemm_compute
+
+
+class TestOptimizeApi:
+    @pytest.mark.parametrize("device", [V100, XEON_E5_2699V4, VU9P])
+    def test_end_to_end_small(self, device):
+        out = conv2d_compute(1, 8, 8, 8, 16, 3, padding=1, name="c")
+        result = optimize(out, device, trials=6, seed=0)
+        assert result.found
+        assert result.gflops > 0
+        assert result.kernel_seconds < 1.0
+        assert result.space_size > 1
+
+    def test_best_schedule_is_numerically_correct(self):
+        out = conv2d_compute(1, 2, 6, 6, 4, 3, padding=1, name="c")
+        result = optimize(out, V100, trials=5, seed=0)
+        inputs = random_inputs(out, seed=0)
+        got = execute_scheduled(result.schedule, inputs)
+        expected = conv2d_reference(inputs["c_I"], inputs["c_W"], 1, 1)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_generated_code_and_pseudo_code(self):
+        out = gemm_compute(16, 16, 16, name="g")
+        result = optimize(out, V100, trials=4, seed=0)
+        assert "def kernel" in result.generated_code()
+        assert "blockIdx" in result.pseudo_code()
+
+    def test_summary_mentions_primitives(self):
+        out = gemm_compute(16, 16, 16, name="g")
+        result = optimize(out, V100, trials=4, seed=0)
+        text = result.summary()
+        assert "GFLOPS" in text and "split" in text
+
+    @pytest.mark.parametrize("method", ["q", "p", "random-walk", "random-sample"])
+    def test_all_methods_run(self, method):
+        out = gemm_compute(16, 16, 16, name="g")
+        result = optimize(out, V100, trials=3, method=method, seed=0)
+        assert result.found
+
+    def test_unknown_method_rejected(self):
+        out = gemm_compute(8, 8, 8)
+        with pytest.raises(ValueError):
+            optimize(out, V100, trials=1, method="magic")
+
+    def test_deterministic(self):
+        out = gemm_compute(32, 32, 32, name="g")
+        a = optimize(out, V100, trials=5, seed=11)
+        b = optimize(out, V100, trials=5, seed=11)
+        assert a.gflops == b.gflops
+        assert a.config == b.config
+
+    def test_analysis_attached(self):
+        out = gemm_compute(16, 8, 4, name="g")
+        result = optimize(out, V100, trials=2, seed=0)
+        assert result.analysis.main().num_spatial == 2
+
+
+class TestNetworks:
+    def test_yolo_has_24_layers_15_distinct(self):
+        net = yolo_v1()
+        assert len(net.layers) == 15
+        assert net.num_layers == 24
+
+    def test_overfeat_has_5_layers(self):
+        net = overfeat()
+        assert net.num_layers == 5
+
+    def test_yolo_shapes_match_table4(self):
+        net = yolo_v1()
+        first = net.layers[0].workload.params
+        assert first["in_channel"] == 3
+        assert first["out_channel"] == 64
+        assert first["height"] == 448
+        assert first["kernel"] == 7
+        assert first["stride"] == 2
+
+    def test_total_flops_positive(self):
+        assert yolo_v1().total_flops() > 1e9
+
+
+class TestPartitioning:
+    def test_fusion_groups_absorb_activations(self):
+        net = yolo_v1()
+        fused = partition_network(net, fuse=True)
+        assert all(g.fused_elementwise == ("relu",) for g in fused)
+        unfused = partition_network(net, fuse=False)
+        assert all(g.fused_elementwise == () for g in unfused)
+
+
+class TestOptimizeNetwork:
+    def _tiny_network(self):
+        from repro.nn import LayerSpec
+        from repro.ops import Workload
+
+        layer = LayerSpec(
+            Workload("C2D", "tiny", dict(
+                batch=1, in_channel=8, height=8, width=8, out_channel=8,
+                kernel=3, stride=1, padding=1)),
+            multiplicity=2,
+        )
+        return Network("tiny", [layer])
+
+    def test_flextensor_network(self):
+        result = optimize_network(self._tiny_network(), V100, trials=4, seed=0)
+        assert result.total_seconds > 0
+        assert len(result.layers) == 1
+        # multiplicity applied
+        layer = result.layers[0]
+        assert layer.total_seconds == pytest.approx(
+            (layer.kernel_seconds + layer.epilogue_seconds) * 2
+        )
+
+    def test_autotvm_network(self):
+        result = optimize_network(
+            self._tiny_network(), V100, trials=3, method="autotvm", seed=0
+        )
+        assert result.total_seconds > 0
+
+    def test_fusion_is_faster(self):
+        fused = optimize_network(self._tiny_network(), V100, trials=3, fuse=True, seed=0)
+        unfused = optimize_network(self._tiny_network(), V100, trials=3, fuse=False, seed=0)
+        assert fused.total_seconds < unfused.total_seconds
+
+    def test_network_gflops(self):
+        result = optimize_network(self._tiny_network(), V100, trials=3, seed=0)
+        assert result.gflops > 0

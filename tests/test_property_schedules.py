@@ -1,0 +1,159 @@
+"""Property-based tests on schedule-space geometry and execution paths."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen import execute_scheduled, random_inputs, run_generated
+from repro.ops import conv1d_compute, conv1d_reference, gemm_compute, gemm_reference
+from repro.schedule import lower
+from repro.space import build_space
+
+
+def _space(target="gpu"):
+    out = gemm_compute(12, 8, 6, name="g")
+    return out, build_space(out, target)
+
+
+class TestNeighborhoodGeometry:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_neighbors_preserve_products(self, seed):
+        """A move changes exactly one knob and, for split knobs, keeps the
+        product of factors equal to the loop extent."""
+        out, space = _space()
+        rng = np.random.default_rng(seed)
+        p = space.random_point(rng)
+        for _, q in space.neighbors(p)[:12]:
+            changed = [i for i in range(len(p)) if p[i] != q[i]]
+            assert len(changed) == 1
+            config = space.decode(q)
+            for axis, factors in zip(space.op.axes, config.spatial_factors):
+                product = 1
+                for f in factors:
+                    product *= f
+                assert product == axis.extent
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_power_of_two_moves_reversible(self, seed):
+        """Moves that shift a factor of 2 can be undone by another move
+        (the lattice is symmetric on the 2-adic component)."""
+        from repro.space import move_factor
+
+        rng = np.random.default_rng(seed)
+        extent = int(rng.choice([8, 16, 32, 64]))
+        from repro.space import factorizations
+
+        choices = factorizations(extent, 3)
+        factors = choices[int(rng.integers(len(choices)))]
+        for src in range(3):
+            for dst in range(3):
+                if src == dst or factors[src] == 1:
+                    continue
+                moved = move_factor(factors, src, dst)
+                assert moved is not None
+                restored = move_factor(moved, dst, src)
+                assert restored == factors  # pure powers of two: symmetric
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_neighbors_decode_to_valid_configs(self, seed):
+        out, space = _space()
+        rng = np.random.default_rng(seed)
+        p = space.random_point(rng)
+        for _, q in space.neighbors(p)[:8]:
+            lower(out, space.decode(q), "gpu")  # must not raise
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_features_differ_between_neighbors(self, seed):
+        out, space = _space()
+        rng = np.random.default_rng(seed)
+        p = space.random_point(rng)
+        fp = space.features(p)
+        for _, q in space.neighbors(p)[:5]:
+            fq = space.features(q)
+            assert fp.shape == fq.shape
+            assert not np.allclose(fp, fq)
+
+
+class TestExecutionPathsAgree:
+    """Interpreter, generated Python, and numpy reference are one
+    semantics: any random schedule must produce identical numbers."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_gemm_three_way_agreement(self, seed):
+        out = gemm_compute(6, 8, 4, name="g")
+        space = build_space(out, "gpu")
+        rng = np.random.default_rng(seed)
+        point = space.random_point(rng)
+        scheduled = lower(out, space.decode(point), "gpu")
+        inputs = random_inputs(out, seed=seed)
+        expected = gemm_reference(inputs["g_A"], inputs["g_B"])
+        interp = execute_scheduled(scheduled, inputs)
+        generated = run_generated(scheduled, inputs)
+        np.testing.assert_allclose(interp, expected, atol=1e-9)
+        np.testing.assert_allclose(generated, expected, atol=1e-9)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_conv1d_with_inlined_padding(self, seed):
+        out = conv1d_compute(1, 2, 8, 3, 3, stride=1, padding=1, name="c")
+        space = build_space(out, "cpu")
+        rng = np.random.default_rng(seed)
+        point = space.random_point(rng)
+        scheduled = lower(out, space.decode(point), "cpu")
+        inputs = random_inputs(out, seed=seed)
+        expected = conv1d_reference(inputs["c_I"], inputs["c_W"], 1, 1)
+        np.testing.assert_allclose(
+            execute_scheduled(scheduled, inputs), expected, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            run_generated(scheduled, inputs), expected, atol=1e-9
+        )
+
+
+class TestModelTotality:
+    """The performance models return a finite positive time for every
+    point of the space — no config may crash or return nonsense."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_gpu_model_total(self, seed):
+        from repro.model import GpuModel, V100
+
+        out, space = _space("gpu")
+        rng = np.random.default_rng(seed)
+        model = GpuModel(V100)
+        seconds = model.estimate_seconds(
+            lower(out, space.decode(space.random_point(rng)), "gpu")
+        )
+        assert 0 < seconds <= 1.0e3
+        assert np.isfinite(seconds)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_cpu_model_total(self, seed):
+        from repro.model import CpuModel, XEON_E5_2699V4
+
+        out, space = _space("cpu")
+        rng = np.random.default_rng(seed)
+        model = CpuModel(XEON_E5_2699V4)
+        seconds = model.estimate_seconds(
+            lower(out, space.decode(space.random_point(rng)), "cpu")
+        )
+        assert 0 < seconds <= 1.0e3
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_fpga_model_total(self, seed):
+        from repro.model import FpgaModel, VU9P
+
+        out, space = _space("fpga")
+        rng = np.random.default_rng(seed)
+        model = FpgaModel(VU9P)
+        seconds = model.estimate_seconds(
+            lower(out, space.decode(space.random_point(rng)), "fpga")
+        )
+        assert 0 < seconds <= 1.0e3

@@ -1,0 +1,126 @@
+"""Edge-case coverage: interpreter input handling, evaluator error paths,
+multi-output graphs, and pseudo-code emission."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    emit_pseudo,
+    execute_reference,
+    execute_scheduled,
+    random_inputs,
+)
+from repro.graph import MiniGraph, get_graph
+from repro.ir import compute, placeholder, reduce_axis, sum_reduce
+from repro.model import V100, VU9P
+from repro.ops import gemm_compute
+from repro.runtime import Evaluator
+from repro.schedule import NodeConfig, lower
+from repro.space import build_space
+
+
+class TestInterpreterInputHandling:
+    def test_missing_input_rejected(self):
+        out = gemm_compute(4, 4, 4, name="g")
+        with pytest.raises(KeyError, match="g_B"):
+            execute_reference(out, {"g_A": np.zeros((4, 4))})
+
+    def test_wrong_shape_rejected(self):
+        out = gemm_compute(4, 4, 4, name="g")
+        with pytest.raises(ValueError, match="shape"):
+            execute_reference(out, {"g_A": np.zeros((4, 5)), "g_B": np.zeros((4, 4))})
+
+    def test_random_inputs_cover_all_placeholders(self):
+        out = gemm_compute(4, 6, 8, name="g")
+        inputs = random_inputs(out, seed=0)
+        assert set(inputs) == {"g_A", "g_B"}
+        assert inputs["g_A"].shape == (4, 6)
+        assert inputs["g_B"].shape == (6, 8)
+
+    def test_random_inputs_deterministic(self):
+        out = gemm_compute(4, 4, 4, name="g")
+        a = random_inputs(out, seed=9)
+        b = random_inputs(out, seed=9)
+        np.testing.assert_array_equal(a["g_A"], b["g_A"])
+
+
+class TestMultiOutputGraphs:
+    def test_two_outputs_share_producers(self):
+        x = placeholder((4,), name="X")
+        doubled = compute((4,), lambda i: x[i] * 2, name="D")
+        plus = compute((4,), lambda i: doubled[i] + 1, name="P")
+        minus = compute((4,), lambda i: doubled[i] - 1, name="M")
+        graph = MiniGraph([plus, minus])
+        assert graph.num_nodes == 4  # X, D, P, M
+        assert set(graph.consumers(doubled.op)) == {plus.op, minus.op}
+        assert graph.is_output(plus.op) and graph.is_output(minus.op)
+        assert not graph.is_output(doubled.op)
+
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            MiniGraph([])
+
+
+class TestEvaluatorEdges:
+    def test_invalid_points_score_zero_but_advance_clock(self):
+        out = gemm_compute(2048, 64, 2048, name="g")
+        ev = Evaluator(out, V100)
+        # deliberately absurd: 2048 threads per block
+        config = NodeConfig(
+            spatial_factors=((32, 1, 64, 1), (32, 1, 32, 2)),
+            reduce_factors=((64, 1),),
+        )
+        point = ev.space.encode(config)
+        perf = ev.evaluate(point)
+        assert perf == 0.0
+        assert ev.clock > 0
+
+    def test_fpga_evaluator_uses_model_query_cost(self):
+        out = gemm_compute(64, 64, 64, name="g")
+        ev = Evaluator(out, VU9P)
+        rng = np.random.default_rng(0)
+        ev.evaluate(ev.space.random_point(rng))
+        assert ev.clock == pytest.approx(VU9P.model_query_seconds)
+
+    def test_lower_point_returns_schedule(self):
+        out = gemm_compute(8, 8, 8, name="g")
+        ev = Evaluator(out, V100)
+        rng = np.random.default_rng(0)
+        scheduled = ev.lower_point(ev.space.random_point(rng))
+        assert scheduled.op is out.op
+
+
+class TestPseudoCode:
+    def test_all_targets_render(self):
+        out = gemm_compute(8, 8, 8, name="g")
+        configs = {
+            "gpu": NodeConfig(spatial_factors=((2, 1, 2, 2), (1, 2, 2, 2)),
+                              reduce_factors=((2, 4),)),
+            "cpu": NodeConfig(spatial_factors=((2, 2, 2), (2, 2, 2)),
+                              reduce_factors=((2, 4),)),
+            "fpga": NodeConfig(spatial_factors=((2, 4), (4, 2)),
+                               reduce_factors=((8,),)),
+        }
+        for target, config in configs.items():
+            text = emit_pseudo(lower(out, config, target))
+            assert "for (" in text
+            assert "g[" in text
+
+    def test_fpga_pseudo_mentions_pe_array(self):
+        out = gemm_compute(8, 8, 8, name="g")
+        config = NodeConfig(spatial_factors=((2, 4), (4, 2)), reduce_factors=((8,),))
+        assert "PE array" in emit_pseudo(lower(out, config, "fpga"))
+
+
+class TestScheduledExecutionWithSharedProducer:
+    def test_diamond_graph_executes(self):
+        x = placeholder((6,), name="X")
+        base = compute((6,), lambda i: x[i] * 3, name="B")
+        rk = reduce_axis(6, "rk")
+        total = compute((1,), lambda i: sum_reduce(base[rk] + i, rk), name="T")
+        space = build_space(total, "cpu")
+        rng = np.random.default_rng(0)
+        scheduled = lower(total, space.decode(space.random_point(rng)), "cpu")
+        arr = np.arange(6.0)
+        got = execute_scheduled(scheduled, {"X": arr})
+        np.testing.assert_allclose(got, [(arr * 3).sum()])

@@ -1,0 +1,105 @@
+"""Unit tests for loop-nest primitives: split, fuse, substitution."""
+
+import itertools
+
+import pytest
+
+from repro.ir import IterVar, Var, evaluate
+from repro.schedule import (
+    LoopDef,
+    SERIAL,
+    UNROLL,
+    fuse_loops,
+    split_axis,
+    substitute_vars,
+)
+
+
+class TestSplitAxis:
+    def test_split_reconstructs_index(self):
+        axis = IterVar(24, "i")
+        loops, index = split_axis(axis, (2, 3, 4), "spatial", 0)
+        assert [l.extent for l in loops] == [2, 3, 4]
+        # Walking the split loops must enumerate 0..23 exactly once, in order.
+        seen = []
+        for values in itertools.product(range(2), range(3), range(4)):
+            env = {loop.var: v for loop, v in zip(loops, values)}
+            seen.append(evaluate(index, env))
+        assert seen == list(range(24))
+
+    def test_nondivisible_rejected(self):
+        axis = IterVar(10, "i")
+        with pytest.raises(ValueError):
+            split_axis(axis, (3, 3), "spatial", 0)
+
+    def test_roles_record_origin(self):
+        axis = IterVar(8, "i")
+        loops, _ = split_axis(axis, (2, 4), "reduce", 3)
+        assert loops[0].role == ("reduce", 3, 0)
+        assert loops[1].role == ("reduce", 3, 1)
+
+    def test_single_part(self):
+        axis = IterVar(8, "i")
+        loops, index = split_axis(axis, (8,), "spatial", 0)
+        assert len(loops) == 1
+        assert evaluate(index, {loops[0].var: 5}) == 5
+
+
+class TestFuseLoops:
+    def test_fuse_recovers_components(self):
+        a = LoopDef(Var("a"), 3, ("spatial", 0, 0))
+        b = LoopDef(Var("b"), 4, ("spatial", 1, 0))
+        c = LoopDef(Var("c"), 5, ("spatial", 2, 0))
+        fused, recovery = fuse_loops([a, b, c], "f")
+        assert fused.extent == 60
+        # every fused value maps back to the unique (a, b, c) triple
+        for fused_value in range(60):
+            env = {fused.var: fused_value}
+            va = evaluate(recovery[a.var], env)
+            vb = evaluate(recovery[b.var], env)
+            vc = evaluate(recovery[c.var], env)
+            assert (va * 4 + vb) * 5 + vc == fused_value
+            assert 0 <= va < 3 and 0 <= vb < 4 and 0 <= vc < 5
+
+    def test_fuse_single_loop(self):
+        a = LoopDef(Var("a"), 7, ("spatial", 0, 0))
+        fused, recovery = fuse_loops([a], "f")
+        assert fused.extent == 7
+        assert evaluate(recovery[a.var], {fused.var: 6}) == 6
+
+    def test_fuse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fuse_loops([], "f")
+
+    def test_fused_role_is_tuple_of_roles(self):
+        a = LoopDef(Var("a"), 2, ("spatial", 0, 0))
+        b = LoopDef(Var("b"), 2, ("spatial", 1, 0))
+        fused, _ = fuse_loops([a, b], "f")
+        assert fused.role == (("spatial", 0, 0), ("spatial", 1, 0))
+
+
+class TestLoopDef:
+    def test_bad_annotation_rejected(self):
+        with pytest.raises(ValueError):
+            LoopDef(Var("x"), 4, ("spatial", 0, 0), annotation="hyperspeed")
+
+    def test_bad_extent_rejected(self):
+        with pytest.raises(ValueError):
+            LoopDef(Var("x"), 0, ("spatial", 0, 0))
+
+    def test_default_serial(self):
+        loop = LoopDef(Var("x"), 4, ("spatial", 0, 0))
+        assert loop.annotation == SERIAL
+
+
+class TestSubstituteVars:
+    def test_replaces_mapped_vars(self):
+        x, y = Var("x"), Var("y")
+        expr = x * 4 + y
+        replaced = substitute_vars(expr, {x: y + 1})
+        assert evaluate(replaced, {y: 2}) == (2 + 1) * 4 + 2
+
+    def test_unmapped_vars_untouched(self):
+        x, y = Var("x"), Var("y")
+        replaced = substitute_vars(x + y, {x: Var("z")})
+        assert evaluate(replaced, {"z": 1, "y": 2}) == 3

@@ -1,0 +1,133 @@
+"""Tests for the index-expression simplifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    Add,
+    IntImm,
+    IterVar,
+    Mul,
+    Var,
+    evaluate,
+    node_count,
+    simplify,
+)
+
+
+class TestBasicRewrites:
+    def setup_method(self):
+        self.x = Var("x")
+
+    def test_additive_identity(self):
+        assert simplify(self.x + 0) is self.x
+        assert simplify(0 + self.x) is self.x
+
+    def test_multiplicative_identity(self):
+        assert simplify(self.x * 1) is self.x
+        assert simplify(1 * self.x) is self.x
+
+    def test_multiply_by_zero(self):
+        result = simplify(self.x * 0)
+        assert isinstance(result, IntImm) and result.value == 0
+
+    def test_constant_folding(self):
+        result = simplify(IntImm(3) + IntImm(4) * IntImm(2))
+        assert isinstance(result, IntImm) and result.value == 11
+
+    def test_floordiv_by_one(self):
+        assert simplify(self.x // 1) is self.x
+
+    def test_mod_by_one_is_zero(self):
+        result = simplify(self.x % 1)
+        assert isinstance(result, IntImm) and result.value == 0
+
+    def test_subtract_zero(self):
+        assert simplify(self.x - 0) is self.x
+
+    def test_nested_constant_reassociation(self):
+        # (x * 4) * 2 -> x * 8
+        result = simplify((self.x * 4) * 2)
+        assert isinstance(result, Mul)
+        assert isinstance(result.b, IntImm) and result.b.value == 8
+
+    def test_additive_constant_reassociation(self):
+        # (x + 3) + 4 -> x + 7
+        result = simplify((self.x + 3) + 4)
+        assert isinstance(result, Add)
+        assert isinstance(result.b, IntImm) and result.b.value == 7
+
+
+class TestSimplifyPreservesSemantics:
+    @given(st.integers(min_value=0, max_value=100), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=50)
+    def test_lowering_style_expressions(self, v0, v1):
+        i0, i1 = Var("i0"), Var("i1")
+        # the shape of mechanically built index reconstructions
+        expr = ((i0 * 1 + 0) * 8 + i1) * 1 + (i0 * 0)
+        simplified = simplify(expr)
+        env = {i0: v0, i1: v1}
+        assert evaluate(simplified, env) == evaluate(expr, env)
+        assert node_count(simplified) < node_count(expr)
+
+    @given(
+        st.integers(min_value=-8, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=64),
+    )
+    @settings(max_examples=50)
+    def test_random_affine_expressions(self, c1, c2, v):
+        x = Var("x")
+        expr = (x * c1 + 5) * c2 + x % 4 + x // 2
+        env = {x: v}
+        assert evaluate(simplify(expr), env) == evaluate(expr, env)
+
+    def test_tensor_ref_indices_simplified(self):
+        from repro.ir import placeholder
+
+        t = placeholder((8, 8), name="T")
+        x = Var("x")
+        ref = t[x * 1 + 0, x + 0]
+        simplified = simplify(ref)
+        assert simplified.indices[0] is x
+        assert simplified.indices[1] is x
+
+    def test_float_division_not_folded(self):
+        from repro.ir import Div, FloatImm
+
+        expr = Div(FloatImm(1.0), FloatImm(3.0))
+        result = simplify(expr)
+        assert isinstance(result, Div)  # no float re-association
+
+
+class TestLoweredIndexMapsAreSimplified:
+    def test_no_multiply_by_one_in_generated_code(self):
+        from repro.codegen import emit_python
+        from repro.ops import gemm_compute
+        from repro.schedule import NodeConfig, lower
+
+        out = gemm_compute(8, 8, 8, name="g")
+        config = NodeConfig(
+            spatial_factors=((1, 1, 8, 1), (1, 1, 8, 1)), reduce_factors=((8, 1),)
+        )
+        source = emit_python(lower(out, config, "gpu"))
+        # unit-extent parts contribute nothing to the reconstructed index
+        assert "* 1)" not in source
+        assert "+ 0)" not in source
+
+    def test_simplified_schedule_still_correct(self):
+        from repro.codegen import execute_scheduled, random_inputs
+        from repro.ops import gemm_compute, gemm_reference
+        from repro.schedule import NodeConfig, lower
+
+        out = gemm_compute(8, 8, 8, name="g")
+        config = NodeConfig(
+            spatial_factors=((2, 1, 2, 2), (1, 2, 2, 2)), reduce_factors=((2, 4),)
+        )
+        scheduled = lower(out, config, "gpu")
+        inputs = random_inputs(out, seed=0)
+        np.testing.assert_allclose(
+            execute_scheduled(scheduled, inputs),
+            gemm_reference(inputs["g_A"], inputs["g_B"]),
+        )
