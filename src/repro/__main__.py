@@ -6,6 +6,8 @@ Examples::
         --size 28 --kernel 3 --trials 40
     python -m repro gemm --device XeonE5-2699v4 --n 1024 --k 1024 --m 1024
     python -m repro conv2d --device VU9P --size 14 --save tuned.json
+    python -m repro conv2d --trials 200 --checkpoint run.ckpt --resume
+    python -m repro selfcheck --faults
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import sys
 from . import optimize
 from .model import DEVICES
 from .ops import conv2d_compute, gemm_compute, gemv_compute
+from .runtime import FaultInjector, MeasureConfig
 from .utils import save_schedule
 
 
@@ -26,7 +29,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="FlexTensor reproduction: tune a tensor operator for a "
                     "simulated device.",
     )
-    parser.add_argument("operator", choices=["conv2d", "gemm", "gemv"])
+    parser.add_argument("operator", choices=["conv2d", "gemm", "gemv", "selfcheck"])
     parser.add_argument("--device", default="V100", choices=sorted(DEVICES))
     parser.add_argument("--trials", type=int, default=40)
     parser.add_argument("--seed", type=int, default=0)
@@ -35,6 +38,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--save", help="write the tuned schedule to a JSON file")
     parser.add_argument("--show-code", action="store_true",
                         help="print the generated Python kernel")
+    parser.add_argument("--checkpoint",
+                        help="JSONL checkpoint file for crash-safe tuning")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the newest checkpoint snapshot")
+    parser.add_argument("--faults", action="store_true",
+                        help="selfcheck only: inject compile errors, hangs "
+                             "and flaky measurements into the run")
     # conv2d shape
     parser.add_argument("--batch", type=int, default=1)
     parser.add_argument("--in-channel", type=int, default=256)
@@ -63,13 +73,50 @@ def build_operator(args):
     return gemv_compute(args.n, args.k)
 
 
+def selfcheck(args) -> int:
+    """End-to-end robustness smoke: every tuner must survive a short
+    (optionally fault-injected) run on the conv2d smoke workload."""
+    output = conv2d_compute(1, 8, 8, 8, 16, 3, padding=1, name="smoke")
+    device = DEVICES[args.device]
+    injector = None
+    measure = None
+    if args.faults:
+        injector = FaultInjector(
+            compile_error_rate=0.05,
+            hang_rate=0.05,
+            transient_error_rate=0.3,
+            jitter=0.05,
+            seed=args.seed,
+        )
+        measure = MeasureConfig(timeout_seconds=0.5)
+    trials = min(args.trials, 5)
+    failures = 0
+    for method in ("q", "p", "random-walk", "random-sample"):
+        result = optimize(
+            output, device, trials=trials, method=method, seed=args.seed,
+            fault_injector=injector, measure_config=measure,
+        )
+        counts = ", ".join(
+            f"{k}={v}" for k, v in sorted(result.tuning.status_counts.items())
+        )
+        verdict = "ok" if result.found else "FAILED"
+        if not result.found:
+            failures += 1
+        print(f"{method:>13}: {verdict}  best={result.gflops:8.1f} GFLOPS  [{counts}]")
+    print("selfcheck " + ("passed" if failures == 0 else f"FAILED ({failures} tuners)"))
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     """CLI entry point: tune, print, optionally save the schedule."""
     args = build_parser().parse_args(argv)
+    if args.operator == "selfcheck":
+        return selfcheck(args)
     output = build_operator(args)
     device = DEVICES[args.device]
     result = optimize(
-        output, device, trials=args.trials, method=args.method, seed=args.seed
+        output, device, trials=args.trials, method=args.method, seed=args.seed,
+        checkpoint=args.checkpoint, resume=args.resume,
     )
     print(result.summary())
     if args.show_code:

@@ -31,6 +31,17 @@ class AdaDelta:
             self._delta_sq[i] = self.rho * self._delta_sq[i] + (1 - self.rho) * update * update
             p -= update
 
+    def get_state(self) -> dict:
+        """JSON-compatible accumulator snapshot (checkpoint/resume)."""
+        return {
+            "grad_sq": [a.tolist() for a in self._grad_sq],
+            "delta_sq": [a.tolist() for a in self._delta_sq],
+        }
+
+    def set_state(self, state: dict) -> None:
+        self._grad_sq = [np.asarray(a, dtype=np.float64) for a in state["grad_sq"]]
+        self._delta_sq = [np.asarray(a, dtype=np.float64) for a in state["delta_sq"]]
+
 
 class MLP:
     """Four fully-connected layers with ReLU between them.
@@ -98,3 +109,21 @@ class MLP:
             w[...] = ow
         for b, ob in zip(self.biases, other.biases):
             b[...] = ob
+
+    def get_state(self) -> dict:
+        """All parameters and optimizer accumulators, JSON-compatible.
+
+        float64 -> repr round-trips exactly through JSON, so a restored
+        network continues training bit-identically.
+        """
+        return {
+            "weights": [w.tolist() for w in self.weights],
+            "biases": [b.tolist() for b in self.biases],
+            "optimizer": self._optimizer.get_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        self.weights = [np.asarray(w, dtype=np.float64) for w in state["weights"]]
+        self.biases = [np.asarray(b, dtype=np.float64) for b in state["biases"]]
+        self._optimizer.set_state(state["optimizer"])

@@ -126,6 +126,53 @@ class QAgent:
         return loss
 
 
+    # -- checkpointing -----------------------------------------------------
+
+    def get_state(self) -> dict:
+        """JSON-compatible snapshot of everything that evolves during a
+        run: exploration rate, replay buffer, direction prior, both
+        networks (with optimizer accumulators), and the private RNG."""
+        return {
+            "epsilon": self.epsilon,
+            "trials_since_training": self._trials_since_training,
+            "direction_reward": self._direction_reward.tolist(),
+            "direction_count": self._direction_count.tolist(),
+            "transitions": [
+                {
+                    "state": list(t.state),
+                    "direction": t.direction,
+                    "next_state": list(t.next_state),
+                    "reward": t.reward,
+                }
+                for t in self.transitions
+            ],
+            "losses": list(self.losses),
+            "network": self.network.get_state(),
+            "target_network": self.target_network.get_state(),
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        self.epsilon = state["epsilon"]
+        self._trials_since_training = state["trials_since_training"]
+        self._direction_reward = np.asarray(state["direction_reward"], dtype=np.float64)
+        self._direction_count = np.asarray(state["direction_count"], dtype=np.float64)
+        self.transitions = [
+            Transition(
+                state=tuple(t["state"]),
+                direction=t["direction"],
+                next_state=tuple(t["next_state"]),
+                reward=t["reward"],
+            )
+            for t in state["transitions"]
+        ]
+        self.losses = list(state.get("losses", []))
+        self.network.set_state(state["network"])
+        self.target_network.set_state(state["target_network"])
+        self._rng.bit_generator.state = state["rng"]
+
+
 def normalized_reward(perf_from: float, perf_to: float) -> float:
     """The paper's reward ``(E_e - E_p) / E_p``, guarded for E_p = 0."""
     if perf_from <= 0.0:

@@ -11,16 +11,24 @@
 All tuners share the :class:`~repro.runtime.Evaluator`, so measured
 points, simulated exploration time and convergence curves are directly
 comparable (Figures 6d and 7).
+
+The shared :meth:`BaseTuner.tune` loop is fault tolerant: it degrades
+gracefully when the evaluator reports a poisoned neighborhood (high
+recent error rate) and can periodically checkpoint its full state —
+H set, visited set, RNG, Q-network — so a killed run resumes exactly
+where it stopped (``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
-from ..runtime import Evaluator
+from ..runtime import Evaluator, load_checkpoint, save_checkpoint
 from ..space import Point, heuristic_seed_points
 from .qlearning import QAgent, normalized_reward
 from .sa import select_starting_points
@@ -36,14 +44,22 @@ class TuneResult:
     num_measurements: int
     exploration_seconds: float     # simulated tuning wall-clock
     curve: List[Tuple[float, float]] = field(default_factory=list)
+    status_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def found(self) -> bool:
         return self.best_point is not None and self.best_performance > 0
 
+    @property
+    def num_failures(self) -> int:
+        """Measurements that did not produce a clean performance value."""
+        ok = self.status_counts.get("ok", 0) + self.status_counts.get("flaky_retried", 0)
+        return sum(self.status_counts.values()) - ok
+
 
 class BaseTuner:
-    """Shared H-set bookkeeping and result assembly."""
+    """Shared H-set bookkeeping, the fault-aware tuning loop, and
+    checkpoint/resume."""
 
     name = "base"
 
@@ -54,6 +70,7 @@ class BaseTuner:
         num_starting_points: int = 4,
         seed: int = 0,
         seed_points: Optional[List[Point]] = None,
+        degrade_threshold: float = 0.5,
     ):
         self.evaluator = evaluator
         self.space = evaluator.space
@@ -63,6 +80,10 @@ class BaseTuner:
         self.evaluated: Dict[Point, float] = {}
         self.visited: Set[Point] = set()
         self.seed_points: List[Point] = list(seed_points or [])
+        # Above this recent-error-rate the tuner assumes the neighborhood
+        # is poisoned (quarantined / failing points) and degrades: shorter
+        # walks plus a fresh SA restart to escape the region.
+        self.degrade_threshold = degrade_threshold
 
     # -- helpers -----------------------------------------------------------
 
@@ -79,6 +100,10 @@ class BaseTuner:
         for point in heuristic_seed_points(self.space, num_seeds, self.rng):
             self._evaluate(point)
 
+    def _degraded(self) -> bool:
+        """Whether the measurement pipeline reports a poisoned region."""
+        return self.evaluator.recent_error_rate() >= self.degrade_threshold
+
     def _result(self) -> TuneResult:
         best_point, best_perf = self.evaluator.best()
         best_seconds = (
@@ -91,10 +116,87 @@ class BaseTuner:
             num_measurements=self.evaluator.num_measurements,
             exploration_seconds=self.evaluator.clock,
             curve=self.evaluator.convergence_curve(),
+            status_counts=dict(self.evaluator.status_counts),
         )
 
-    def tune(self, trials: int, num_seeds: int = 4) -> TuneResult:
+    # -- the tuning loop ---------------------------------------------------
+
+    def tune(
+        self,
+        trials: int,
+        num_seeds: int = 4,
+        checkpoint: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+    ) -> TuneResult:
+        """Run the exploration loop, optionally checkpointed.
+
+        Args:
+            trials: number of exploration trials.
+            num_seeds: heuristic + random seed points evaluated up front.
+            checkpoint: path of a JSONL checkpoint file; when set, full
+                tuner state is snapshotted every ``checkpoint_every``
+                trials (atomic write-then-rename).
+            checkpoint_every: snapshot period in trials.
+            resume: restore the newest snapshot from ``checkpoint`` (if
+                any) and continue from its trial index; the finished run
+                is bit-identical to an uninterrupted one.
+        """
+        start_trial = 0
+        if checkpoint and resume:
+            start_trial = self._restore(checkpoint)
+        if start_trial == 0:
+            self._seed(num_seeds)
+        for trial in range(start_trial, trials):
+            self._run_trial(trial)
+            self._end_trial(trial)
+            if checkpoint and (trial + 1) % checkpoint_every == 0:
+                save_checkpoint(checkpoint, self._snapshot(trial + 1))
+        return self._result()
+
+    def _run_trial(self, trial: int) -> None:
         raise NotImplementedError
+
+    def _end_trial(self, trial: int) -> None:
+        """Per-trial hook (the Q-method trains its network here)."""
+
+    # -- checkpoint/resume -------------------------------------------------
+
+    def _snapshot(self, next_trial: int) -> Dict:
+        return {"tuner": self.name, "trial": next_trial, "state": self.get_state()}
+
+    def _restore(self, checkpoint: Union[str, Path]) -> int:
+        """Load the newest snapshot; returns the trial index to resume at
+        (0 — a fresh start — when there is nothing usable)."""
+        snapshot = load_checkpoint(checkpoint)
+        if snapshot is None:
+            return 0
+        if snapshot.get("tuner") != self.name:
+            warnings.warn(
+                f"checkpoint {checkpoint} was written by tuner "
+                f"{snapshot.get('tuner')!r}, not {self.name!r}; starting fresh"
+            )
+            return 0
+        self.set_state(snapshot["state"])
+        return int(snapshot["trial"])
+
+    def get_state(self) -> Dict:
+        """JSON-compatible snapshot of all mutable tuner state (insertion
+        order of H is preserved — the SA distribution and best() tie-breaks
+        depend on it)."""
+        return {
+            "rng": self.rng.bit_generator.state,
+            "evaluated": [[list(p), perf] for p, perf in self.evaluated.items()],
+            "visited": [list(p) for p in sorted(self.visited)],
+            "evaluator": self.evaluator.get_state(),
+        }
+
+    def set_state(self, state: Dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        self.rng.bit_generator.state = state["rng"]
+        self.evaluated = {tuple(p): perf for p, perf in state["evaluated"]}
+        self.visited = {tuple(p) for p in state["visited"]}
+        self.evaluator.set_state(state["evaluator"])
 
 
 class FlexTensorTuner(BaseTuner):
@@ -112,8 +214,12 @@ class FlexTensorTuner(BaseTuner):
         train_period: int = 5,
         seed: int = 0,
         seed_points: Optional[List[Point]] = None,
+        degrade_threshold: float = 0.5,
     ):
-        super().__init__(evaluator, gamma, num_starting_points, seed, seed_points)
+        super().__init__(
+            evaluator, gamma, num_starting_points, seed, seed_points,
+            degrade_threshold=degrade_threshold,
+        )
         self.steps = steps
         self.agent = QAgent(
             self.space,
@@ -122,31 +228,46 @@ class FlexTensorTuner(BaseTuner):
             seed=seed,
         )
 
-    def tune(self, trials: int, num_seeds: int = 4) -> TuneResult:
-        self._seed(num_seeds)
-        for _ in range(trials):
-            starts = select_starting_points(
-                self.evaluated, self.num_starting_points, self.gamma, self.rng
-            )
-            for start in starts:
-                # "The searching process can involve multiple steps" (§5.1):
-                # walk up to ``steps`` moves from the starting point, always
-                # continuing from the freshly evaluated neighbor.
-                current = start
-                for _step in range(self.steps):
-                    choice = self.agent.choose_direction(current, self.visited, self.rng)
-                    if choice is None:
-                        break
-                    direction, neighbor = choice
-                    perf_from = self.evaluated[current]
-                    perf_to = self._evaluate(neighbor)
-                    self.agent.record(
-                        current, direction, neighbor,
-                        normalized_reward(perf_from, perf_to),
-                    )
-                    current = neighbor
-            self.agent.end_trial()
-        return self._result()
+    def _run_trial(self, trial: int) -> None:
+        steps = self.steps
+        if self._degraded():
+            # Poisoned neighborhood: shorten the walks and inject a fresh
+            # SA restart so the search escapes instead of looping on a
+            # broken region.
+            steps = max(1, self.steps // 2)
+            self._evaluate(self.space.random_point(self.rng))
+        starts = select_starting_points(
+            self.evaluated, self.num_starting_points, self.gamma, self.rng
+        )
+        for start in starts:
+            # "The searching process can involve multiple steps" (§5.1):
+            # walk up to ``steps`` moves from the starting point, always
+            # continuing from the freshly evaluated neighbor.
+            current = start
+            for _step in range(steps):
+                choice = self.agent.choose_direction(current, self.visited, self.rng)
+                if choice is None:
+                    break
+                direction, neighbor = choice
+                perf_from = self.evaluated[current]
+                perf_to = self._evaluate(neighbor)
+                self.agent.record(
+                    current, direction, neighbor,
+                    normalized_reward(perf_from, perf_to),
+                )
+                current = neighbor
+
+    def _end_trial(self, trial: int) -> None:
+        self.agent.end_trial()
+
+    def get_state(self) -> Dict:
+        state = super().get_state()
+        state["agent"] = self.agent.get_state()
+        return state
+
+    def set_state(self, state: Dict) -> None:
+        super().set_state(state)
+        self.agent.set_state(state["agent"])
 
 
 class PMethodTuner(BaseTuner):
@@ -154,18 +275,15 @@ class PMethodTuner(BaseTuner):
 
     name = "p-method"
 
-    def tune(self, trials: int, num_seeds: int = 4) -> TuneResult:
-        self._seed(num_seeds)
-        for _ in range(trials):
-            starts = select_starting_points(
-                self.evaluated, self.num_starting_points, self.gamma, self.rng
-            )
-            for start in starts:
-                for _direction, neighbor in self.space.neighbors(start):
-                    if neighbor in self.visited:
-                        continue
-                    self._evaluate(neighbor)
-        return self._result()
+    def _run_trial(self, trial: int) -> None:
+        starts = select_starting_points(
+            self.evaluated, self.num_starting_points, self.gamma, self.rng
+        )
+        for start in starts:
+            for _direction, neighbor in self.space.neighbors(start):
+                if neighbor in self.visited:
+                    continue
+                self._evaluate(neighbor)
 
 
 class RandomWalkTuner(BaseTuner):
@@ -173,23 +291,22 @@ class RandomWalkTuner(BaseTuner):
 
     name = "random-walk"
 
-    def tune(self, trials: int, num_seeds: int = 4) -> TuneResult:
-        self._seed(num_seeds)
-        for _ in range(trials):
-            starts = select_starting_points(
-                self.evaluated, self.num_starting_points, self.gamma, self.rng
-            )
-            for start in starts:
-                options = [
-                    (d, nb)
-                    for d, nb in self.space.neighbors(start)
-                    if nb not in self.visited
-                ]
-                if not options:
-                    continue
-                _direction, neighbor = options[int(self.rng.integers(len(options)))]
-                self._evaluate(neighbor)
-        return self._result()
+    def _run_trial(self, trial: int) -> None:
+        if self._degraded():
+            self._evaluate(self.space.random_point(self.rng))
+        starts = select_starting_points(
+            self.evaluated, self.num_starting_points, self.gamma, self.rng
+        )
+        for start in starts:
+            options = [
+                (d, nb)
+                for d, nb in self.space.neighbors(start)
+                if nb not in self.visited
+            ]
+            if not options:
+                continue
+            _direction, neighbor = options[int(self.rng.integers(len(options)))]
+            self._evaluate(neighbor)
 
 
 class RandomSampleTuner(BaseTuner):
@@ -199,9 +316,6 @@ class RandomSampleTuner(BaseTuner):
 
     name = "random-sample"
 
-    def tune(self, trials: int, num_seeds: int = 4) -> TuneResult:
-        self._seed(num_seeds)
-        for _ in range(trials):
-            for _ in range(self.num_starting_points):
-                self._evaluate(self.space.random_point(self.rng))
-        return self._result()
+    def _run_trial(self, trial: int) -> None:
+        for _ in range(self.num_starting_points):
+            self._evaluate(self.space.random_point(self.rng))

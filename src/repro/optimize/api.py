@@ -23,7 +23,7 @@ from ..explore import (
 )
 from ..graph import MiniGraph, get_graph
 from ..model import model_for, target_of
-from ..runtime import Evaluator
+from ..runtime import Evaluator, FaultInjector, MeasureConfig
 from ..schedule import GraphConfig, NodeConfig, Scheduled, lower
 from ..space import ScheduleSpace, build_space
 
@@ -75,6 +75,13 @@ class OptimizeResult:
             f"measurements: {self.tuning.num_measurements}, "
             f"simulated exploration: {self.tuning.exploration_seconds:.0f} s",
         ]
+        if self.tuning.num_failures:
+            counts = ", ".join(
+                f"{status}={count}"
+                for status, count in sorted(self.tuning.status_counts.items())
+                if status not in ("ok", "flaky_retried")
+            )
+            lines.append(f"failed measurements: {self.tuning.num_failures} ({counts})")
         if self.schedule is not None:
             lines.append("primitives: " + "; ".join(self.schedule.primitives))
         return "\n".join(lines)
@@ -136,6 +143,11 @@ def optimize(
     graph_config: Optional[GraphConfig] = None,
     space: Optional[ScheduleSpace] = None,
     warm_start: Optional[NodeConfig] = None,
+    measure_config: Optional[MeasureConfig] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> OptimizeResult:
     """Optimize one tensor computation for one device (Algorithm 1).
 
@@ -154,6 +166,14 @@ def optimize(
         space: pre-built schedule space (rebuilt from analysis otherwise).
         warm_start: a previously tuned configuration (e.g. from a
             :class:`~repro.runtime.RecordBook`) evaluated before searching.
+        measure_config: timeout / retry / quarantine policy of the
+            measurement pipeline (``docs/robustness.md``).
+        fault_injector: a :class:`~repro.runtime.FaultInjector` imposing
+            simulated compile errors, hangs and flaky measurements.
+        checkpoint: path of a JSONL checkpoint file; tuner state is
+            snapshotted every ``checkpoint_every`` trials when set.
+        resume: restore the newest checkpoint snapshot (if any) and
+            continue the interrupted run from its trial index.
     """
     graph = output if isinstance(output, MiniGraph) else get_graph(output)
     # Front-end: static analysis + schedule space (pruned + rearranged).
@@ -163,7 +183,10 @@ def optimize(
     graph_config = graph_config or GraphConfig()
 
     # Back-end: exploration over the space.
-    evaluator = Evaluator(graph, device_spec, space=space, graph_config=graph_config)
+    evaluator = Evaluator(
+        graph, device_spec, space=space, graph_config=graph_config,
+        measure_config=measure_config, fault_injector=fault_injector,
+    )
     try:
         tuner_cls = _TUNERS[method]
     except KeyError:
@@ -183,7 +206,13 @@ def optimize(
         seed=seed,
         seed_points=seed_points,
     )
-    tuning = tuner.tune(trials, num_seeds=num_seeds)
+    tuning = tuner.tune(
+        trials,
+        num_seeds=num_seeds,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+    )
 
     # Schedule implementation for the chosen point (Algorithm 1, line 8:
     # Schedule_for_graph — decide the graph-level inline placements).

@@ -1,6 +1,38 @@
-"""Measurement harness, simulated exploration clock, and tuning records."""
+"""Measurement harness, simulated exploration clock, fault injection,
+checkpointing, and tuning records."""
 
-from .measure import Evaluator, MeasureRecord
+from .checkpoint import CHECKPOINT_VERSION, load_checkpoint, save_checkpoint
+from .fault import (
+    Fault,
+    FaultInjector,
+    InjectedCompileError,
+    InjectedHang,
+    InjectedRuntimeError,
+)
+from .measure import (
+    Evaluator,
+    MeasureConfig,
+    MeasureRecord,
+    MeasureResult,
+    MeasureStatus,
+)
 from .records import RecordBook, TuningRecord, workload_key
 
-__all__ = ["Evaluator", "MeasureRecord", "RecordBook", "TuningRecord", "workload_key"]
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Evaluator",
+    "Fault",
+    "FaultInjector",
+    "InjectedCompileError",
+    "InjectedHang",
+    "InjectedRuntimeError",
+    "MeasureConfig",
+    "MeasureRecord",
+    "MeasureResult",
+    "MeasureStatus",
+    "RecordBook",
+    "TuningRecord",
+    "load_checkpoint",
+    "save_checkpoint",
+    "workload_key",
+]

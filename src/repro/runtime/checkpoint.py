@@ -1,0 +1,75 @@
+"""Crash-safe checkpointing of tuner state (JSONL, atomic replace).
+
+A tuning run is hours of simulated (or real) measurements; losing the
+H set, the visited set, and the Q-network to a crash means paying for
+them again.  A checkpoint file holds one JSON snapshot per line, newest
+last; writes go through a temp file + ``os.replace`` so a kill at any
+instant leaves either the old file or the new one, never a torn write.
+Loading walks the lines backwards and returns the newest parseable
+snapshot, so even a checkpoint file truncated by a dying filesystem
+still resumes from the latest intact state.
+
+See ``docs/robustness.md`` for the snapshot schema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Schema version stamped into every snapshot.
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(
+    path: Union[str, Path], snapshot: Dict, keep: int = 3
+) -> None:
+    """Append a snapshot to a JSONL checkpoint file atomically.
+
+    The file retains at most ``keep`` snapshots (oldest dropped); the
+    whole file is rewritten to a sibling temp file and renamed over the
+    original, so readers never observe a partial write.
+    """
+    path = Path(path)
+    snapshot = dict(snapshot)
+    snapshot.setdefault("version", CHECKPOINT_VERSION)
+    lines: List[str] = []
+    if path.exists():
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+    lines.append(json.dumps(snapshot))
+    lines = lines[-max(keep, 1):]
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as f:
+        f.write("\n".join(lines) + "\n")
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: Union[str, Path]) -> Optional[Dict]:
+    """The newest valid snapshot in a checkpoint file, or None.
+
+    Corrupt or truncated lines (e.g. the process died mid-append on a
+    filesystem without atomic rename) are skipped with a warning.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    lines = path.read_text().splitlines()
+    for line in reversed(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            snapshot = json.loads(line)
+        except json.JSONDecodeError:
+            warnings.warn(f"skipping corrupt checkpoint line in {path}")
+            continue
+        if not isinstance(snapshot, dict):
+            warnings.warn(f"skipping non-object checkpoint line in {path}")
+            continue
+        return snapshot
+    return None

@@ -8,10 +8,16 @@ performance value (GFLOPS, higher is better), memoizes it, and advances a
 **simulated wall clock** by the cost of that measurement (compile +
 repeated runs on CPU/GPU; one model query on FPGA).  The clock drives the
 exploration-time comparisons of Figures 6d and 7.
+
+Unlike the seed implementation, measurement is fault tolerant: every
+attempt is classified into a :class:`MeasureStatus`, hangs are billed
+their full timeout budget, transient errors are retried with backoff,
+and points that keep failing are quarantined — see ``docs/robustness.md``.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -20,21 +26,112 @@ from ..graph import MiniGraph, get_graph
 from ..model import INVALID_TIME, PerformanceModel, model_for, target_of
 from ..schedule import GraphConfig, LoweringError, Scheduled, lower
 from ..space import Point, ScheduleSpace, build_space
+from .fault import (
+    Fault,
+    FaultInjector,
+    InjectedCompileError,
+    InjectedHang,
+    InjectedRuntimeError,
+)
+
+#: Legacy cap on the kernel runtime billed per measurement when no
+#: explicit timeout is configured (a real runner never waits forever).
+DEFAULT_CHARGE_CAP = 1.0
+
+
+class MeasureStatus(enum.Enum):
+    """Classification of one finished measurement."""
+
+    OK = "ok"                          # clean measurement
+    LOWER_ERROR = "lower_error"        # schedule could not be lowered
+    COMPILE_ERROR = "compile_error"    # toolchain rejected the kernel
+    RUN_TIMEOUT = "run_timeout"        # kernel exceeded the timeout budget
+    RUNTIME_ERROR = "runtime_error"    # transient device error, retries exhausted
+    FLAKY_RETRIED = "flaky_retried"    # succeeded after >=1 transient failure
+
+    @property
+    def ok(self) -> bool:
+        return self in (MeasureStatus.OK, MeasureStatus.FLAKY_RETRIED)
+
+    @property
+    def permanent(self) -> bool:
+        """Whether re-measuring the same point can never help."""
+        return self in (
+            MeasureStatus.OK,
+            MeasureStatus.FLAKY_RETRIED,
+            MeasureStatus.LOWER_ERROR,
+            MeasureStatus.COMPILE_ERROR,
+            MeasureStatus.RUN_TIMEOUT,
+        )
 
 
 @dataclass
-class MeasureRecord:
-    """One evaluated point: performance (GFLOPS) and when it was measured."""
+class MeasureResult:
+    """One evaluated point: performance (GFLOPS), status, and accounting."""
 
     point: Point
     performance: float
     seconds: float           # modeled kernel time
     clock: float             # simulated wall-clock at completion
     trial_index: int
+    status: MeasureStatus = MeasureStatus.OK
+    attempts: int = 1
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        """JSON-compatible form (checkpoint files)."""
+        return {
+            "point": list(self.point),
+            "performance": self.performance,
+            "seconds": self.seconds,
+            "clock": self.clock,
+            "trial_index": self.trial_index,
+            "status": self.status.value,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "MeasureResult":
+        return cls(
+            point=tuple(payload["point"]),
+            performance=payload["performance"],
+            seconds=payload["seconds"],
+            clock=payload["clock"],
+            trial_index=payload["trial_index"],
+            status=MeasureStatus(payload.get("status", "ok")),
+            attempts=payload.get("attempts", 1),
+            error=payload.get("error"),
+        )
+
+
+#: Backwards-compatible alias: the seed called the record type MeasureRecord.
+MeasureRecord = MeasureResult
+
+
+@dataclass
+class MeasureConfig:
+    """Timeout / retry / quarantine policy of the measurement pipeline.
+
+    ``timeout_seconds = None`` disables timeout classification (legacy
+    behaviour) while still capping the billed runtime at
+    :data:`DEFAULT_CHARGE_CAP`.
+    """
+
+    timeout_seconds: Optional[float] = None
+    max_retries: int = 2                # extra attempts after a transient error
+    backoff_seconds: float = 0.1        # base wall-clock pause, doubled per retry
+    quarantine_threshold: int = 3       # failed measurements before quarantine
+    quarantine_max: int = 128           # FIFO capacity of the quarantine set
+
+    @property
+    def charge_cap(self) -> float:
+        return self.timeout_seconds if self.timeout_seconds else DEFAULT_CHARGE_CAP
 
 
 class Evaluator:
-    """Schedule-point evaluator with memoization and a simulated clock."""
+    """Schedule-point evaluator with memoization, a simulated clock, and a
+    fault-tolerant measurement pipeline."""
 
     def __init__(
         self,
@@ -43,6 +140,8 @@ class Evaluator:
         space: Optional[ScheduleSpace] = None,
         graph_config: Optional[GraphConfig] = None,
         model: Optional[PerformanceModel] = None,
+        measure_config: Optional[MeasureConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         self.graph: MiniGraph = output if isinstance(output, MiniGraph) else get_graph(output)
         self.device_spec = device_spec
@@ -50,12 +149,23 @@ class Evaluator:
         self.space = space or build_space(self.graph, self.target)
         self.graph_config = graph_config or GraphConfig()
         self.model = model or model_for(device_spec)
+        self.measure_config = measure_config or MeasureConfig()
+        self.fault_injector = fault_injector
         self.flops = flops_of(self.graph.main_op)
         self._producer_overhead = self._materialization_seconds()
         self.cache: Dict[Point, float] = {}
-        self.records: List[MeasureRecord] = []
+        self.records: List[MeasureResult] = []
         self.clock = 0.0
         self.num_measurements = 0
+        self.status_counts: Dict[str, int] = {}
+        # Fault bookkeeping: lifetime attempt index per point (keys the
+        # injector so re-tries of a flaky point see fresh rolls), failed
+        # non-permanent measurements per point, and the quarantine FIFO.
+        self._attempt_counts: Dict[Point, int] = {}
+        self._failure_counts: Dict[Point, int] = {}
+        self._quarantine: List[Point] = []
+        self._quarantined: set = set()
+        self.num_quarantine_hits = 0
 
     # -- evaluation --------------------------------------------------------
 
@@ -65,31 +175,141 @@ class Evaluator:
         return lower(self.graph, config, self.target, self.graph_config)
 
     def evaluate(self, point: Point) -> float:
-        """Performance value E of a point in GFLOPS (0 for invalid).
+        """Performance value E of a point in GFLOPS (0 for failures).
 
         Cached: re-evaluating a visited point costs no simulated time,
         matching the paper's "record the visited points to avoid repeated
-        searching".
+        searching".  Transient failures are *not* cached, so a later
+        visit re-measures — unless the point has been quarantined.
         """
         if point in self.cache:
             return self.cache[point]
+        if point in self._quarantined:
+            self.num_quarantine_hits += 1
+            return 0.0
+        result = self.measure(point)
+        return result.performance
+
+    def measure(self, point: Point) -> MeasureResult:
+        """Run the full fault-tolerant measurement pipeline on one point."""
+        config = self.measure_config
+        attempts = 0
+        result: Optional[MeasureResult] = None
+        while True:
+            attempts += 1
+            outcome = self._attempt(point)
+            status, seconds, error = outcome
+            if status is MeasureStatus.RUNTIME_ERROR and attempts <= config.max_retries:
+                # Transient: pay the failed attempt plus a backoff pause,
+                # then try again.  Real tuners pay wall-clock for both.
+                self.clock += self.model.measurement_seconds(0.0)
+                self.clock += config.backoff_seconds * (2 ** (attempts - 1))
+                continue
+            result = self._finish(point, status, seconds, attempts, error)
+            break
+        return result
+
+    def _attempt(self, point: Point) -> Tuple[MeasureStatus, float, Optional[str]]:
+        """One measurement attempt: (status, kernel seconds, error)."""
+        config = self.measure_config
+        attempt_index = self._attempt_counts.get(point, 0)
+        self._attempt_counts[point] = attempt_index + 1
+        fault = Fault.NONE
+        if self.fault_injector is not None:
+            fault = self.fault_injector.decide(point, attempt_index)
         try:
+            if fault is Fault.COMPILE:
+                raise InjectedCompileError("injected compile failure")
             scheduled = self.lower_point(point)
+            if fault is Fault.HANG:
+                raise InjectedHang("injected kernel hang")
+            if fault is Fault.TRANSIENT:
+                raise InjectedRuntimeError("injected transient device error")
             seconds = self.model.estimate_seconds(scheduled)
-        except LoweringError:
-            seconds = INVALID_TIME
+        except LoweringError as exc:
+            return MeasureStatus.LOWER_ERROR, INVALID_TIME, str(exc)
+        except InjectedHang as exc:
+            return MeasureStatus.RUN_TIMEOUT, INVALID_TIME, str(exc)
+        except InjectedRuntimeError as exc:
+            return MeasureStatus.RUNTIME_ERROR, INVALID_TIME, str(exc)
+        except Exception as exc:  # noqa: BLE001 -- ValidationError, arithmetic
+            # errors from exotic points, injected compile errors: a broken
+            # candidate must never kill the tuning run (ISSUE #1).
+            return MeasureStatus.COMPILE_ERROR, INVALID_TIME, f"{type(exc).__name__}: {exc}"
         if seconds >= INVALID_TIME:
-            performance = 0.0
-        else:
-            seconds += self._producer_overhead
+            return MeasureStatus.COMPILE_ERROR, INVALID_TIME, "model rejected configuration"
+        if self.fault_injector is not None:
+            seconds *= self.fault_injector.jitter_factor(point, attempt_index)
+        seconds += self._producer_overhead
+        if config.timeout_seconds is not None and seconds > config.timeout_seconds:
+            return MeasureStatus.RUN_TIMEOUT, seconds, "kernel exceeded timeout"
+        return MeasureStatus.OK, seconds, None
+
+    def _finish(
+        self,
+        point: Point,
+        status: MeasureStatus,
+        seconds: float,
+        attempts: int,
+        error: Optional[str],
+    ) -> MeasureResult:
+        """Charge the clock, classify, cache, and record one measurement."""
+        config = self.measure_config
+        if status is MeasureStatus.OK and attempts > 1:
+            status = MeasureStatus.FLAKY_RETRIED
+        if status.ok:
             performance = self.flops / seconds / 1e9
-        self.clock += self.model.measurement_seconds(min(seconds, 1.0))
+        else:
+            performance = 0.0
+        # A hang (or a kernel past the timeout) bills the *full* timeout
+        # budget — real tuners pay wall-clock waiting for the deadline.
+        self.clock += self.model.measurement_seconds(min(seconds, config.charge_cap))
         self.num_measurements += 1
-        self.cache[point] = performance
-        self.records.append(
-            MeasureRecord(point, performance, seconds, self.clock, self.num_measurements)
+        if status.permanent:
+            self.cache[point] = performance
+        else:
+            self._record_failure(point)
+        self.status_counts[status.value] = self.status_counts.get(status.value, 0) + 1
+        result = MeasureResult(
+            point, performance, seconds, self.clock, self.num_measurements,
+            status=status, attempts=attempts, error=error,
         )
-        return performance
+        self.records.append(result)
+        return result
+
+    # -- fault bookkeeping -------------------------------------------------
+
+    def _record_failure(self, point: Point) -> None:
+        count = self._failure_counts.get(point, 0) + 1
+        self._failure_counts[point] = count
+        if count >= self.measure_config.quarantine_threshold:
+            self._quarantine_point(point)
+
+    def _quarantine_point(self, point: Point) -> None:
+        if point in self._quarantined:
+            return
+        self._quarantine.append(point)
+        self._quarantined.add(point)
+        while len(self._quarantine) > self.measure_config.quarantine_max:
+            evicted = self._quarantine.pop(0)
+            self._quarantined.discard(evicted)
+            # Evicted points get a clean slate: they may be re-measured.
+            self._failure_counts.pop(evicted, None)
+
+    @property
+    def quarantine(self) -> Tuple[Point, ...]:
+        """Quarantined points, oldest first."""
+        return tuple(self._quarantine)
+
+    def recent_error_rate(self, window: int = 20) -> float:
+        """Fraction of failed measurements among the last ``window`` —
+        the signal tuners use to degrade gracefully when a neighborhood
+        is poisoned."""
+        if not self.records:
+            return 0.0
+        recent = self.records[-window:]
+        failed = sum(1 for r in recent if not r.status.ok)
+        return failed / len(recent)
 
     def _materialization_seconds(self) -> float:
         """Cost of producer nodes the graph config does *not* inline.
@@ -117,6 +337,35 @@ class Evaluator:
         """Advance the simulated clock for non-measurement work (e.g.
         cost-model training in the AutoTVM baseline)."""
         self.clock += seconds
+
+    # -- checkpointing -----------------------------------------------------
+
+    def get_state(self) -> Dict:
+        """JSON-compatible snapshot of all mutable evaluator state."""
+        return {
+            "clock": self.clock,
+            "num_measurements": self.num_measurements,
+            "cache": [[list(p), perf] for p, perf in self.cache.items()],
+            "records": [r.to_dict() for r in self.records],
+            "status_counts": dict(self.status_counts),
+            "attempt_counts": [[list(p), c] for p, c in self._attempt_counts.items()],
+            "failure_counts": [[list(p), c] for p, c in self._failure_counts.items()],
+            "quarantine": [list(p) for p in self._quarantine],
+            "num_quarantine_hits": self.num_quarantine_hits,
+        }
+
+    def set_state(self, state: Dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        self.clock = state["clock"]
+        self.num_measurements = state["num_measurements"]
+        self.cache = {tuple(p): perf for p, perf in state["cache"]}
+        self.records = [MeasureResult.from_dict(r) for r in state["records"]]
+        self.status_counts = dict(state.get("status_counts", {}))
+        self._attempt_counts = {tuple(p): c for p, c in state.get("attempt_counts", [])}
+        self._failure_counts = {tuple(p): c for p, c in state.get("failure_counts", [])}
+        self._quarantine = [tuple(p) for p in state.get("quarantine", [])]
+        self._quarantined = set(self._quarantine)
+        self.num_quarantine_hits = state.get("num_quarantine_hits", 0)
 
     # -- results -------------------------------------------------------------
 

@@ -10,6 +10,8 @@ re-searching (the deployment mode TVM calls a "tophub" package).
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
@@ -68,10 +70,16 @@ class RecordBook:
                 self._consider(record)
 
     def _read_all(self) -> Iterator[TuningRecord]:
-        for line in self.path.read_text().splitlines():
+        for lineno, line in enumerate(self.path.read_text().splitlines(), 1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 yield TuningRecord.from_json(line)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                # A record file truncated mid-append (killed process) or
+                # hand-edited must not take the whole book down.
+                warnings.warn(f"skipping corrupt record at {self.path}:{lineno}")
 
     def _consider(self, record: TuningRecord) -> bool:
         current = self._best.get(record.key)
@@ -86,8 +94,13 @@ class RecordBook:
         """Append a record (and persist it if a path is configured)."""
         self._consider(record)
         if self.path:
+            # Single write + flush + fsync: the line is on disk (or not at
+            # all) before add() returns, so a crash can truncate at most
+            # the line being appended — which _read_all then skips.
             with open(self.path, "a") as f:
                 f.write(record.to_json() + "\n")
+                f.flush()
+                os.fsync(f.fileno())
 
     def best(self, key: str) -> Optional[TuningRecord]:
         """Best known record for a workload key, or None."""

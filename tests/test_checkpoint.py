@@ -1,0 +1,151 @@
+"""Checkpoint/resume: atomic JSONL snapshots, corrupt-file tolerance, and
+bit-identical resume of killed tuning runs (ISSUE #1)."""
+
+import numpy as np
+import pytest
+
+from repro import optimize
+from repro.__main__ import main as cli_main
+from repro.explore import FlexTensorTuner, RandomSampleTuner
+from repro.model import V100
+from repro.ops import conv2d_compute
+from repro.runtime import (
+    Evaluator,
+    FaultInjector,
+    MeasureConfig,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def smoke_output():
+    return conv2d_compute(1, 8, 8, 8, 16, 3, padding=1, name="c")
+
+
+def smoke_evaluator(**kwargs):
+    return Evaluator(smoke_output(), V100, **kwargs)
+
+
+class TestCheckpointFile:
+    def test_roundtrip_and_keep_limit(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        for i in range(5):
+            save_checkpoint(path, {"trial": i}, keep=3)
+        assert load_checkpoint(path)["trial"] == 4
+        assert len(path.read_text().splitlines()) == 3
+        assert load_checkpoint(path)["version"] == 1
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.ckpt") is None
+
+    def test_corrupt_tail_falls_back_to_previous_snapshot(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, {"trial": 7})
+        with open(path, "a") as f:
+            f.write('{"trial": 8, "truncated-by-a-kill')
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            snapshot = load_checkpoint(path)
+        assert snapshot["trial"] == 7
+
+    def test_all_corrupt_is_none(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text("garbage\n[1, 2]\n")
+        with pytest.warns(UserWarning):
+            assert load_checkpoint(path) is None
+
+
+class TestResumeDeterminism:
+    def run_uninterrupted(self, tuner_cls, trials, **ev_kwargs):
+        return tuner_cls(smoke_evaluator(**ev_kwargs), seed=7).tune(trials, num_seeds=3)
+
+    def run_killed_then_resumed(self, tuner_cls, kill_at, trials, path, **ev_kwargs):
+        # The killed run: checkpoints every trial, dies after ``kill_at``.
+        killed = tuner_cls(smoke_evaluator(**ev_kwargs), seed=7)
+        killed.tune(kill_at, num_seeds=3, checkpoint=path)
+        # A fresh process: new tuner + evaluator, resumed from the file.
+        resumed = tuner_cls(smoke_evaluator(**ev_kwargs), seed=7)
+        return resumed.tune(trials, num_seeds=3, checkpoint=path, resume=True)
+
+    def test_qmethod_resume_bit_identical(self, tmp_path):
+        # Kill at trial 6 > train_period=5, so the resumed run carries
+        # trained Q-network weights and optimizer state across the kill.
+        full = self.run_uninterrupted(FlexTensorTuner, 10)
+        resumed = self.run_killed_then_resumed(
+            FlexTensorTuner, 6, 10, tmp_path / "q.ckpt"
+        )
+        assert resumed.best_point == full.best_point
+        assert resumed.best_performance == full.best_performance
+        assert resumed.exploration_seconds == full.exploration_seconds
+        assert resumed.num_measurements == full.num_measurements
+        assert resumed.curve == full.curve
+
+    def test_qmethod_resume_bit_identical_under_faults(self, tmp_path):
+        kwargs = dict(
+            fault_injector=FaultInjector(
+                transient_error_rate=0.3, hang_rate=0.05, jitter=0.1, seed=3
+            ),
+            measure_config=MeasureConfig(timeout_seconds=0.5),
+        )
+        full = self.run_uninterrupted(FlexTensorTuner, 8, **kwargs)
+        resumed = self.run_killed_then_resumed(
+            FlexTensorTuner, 4, 8, tmp_path / "qf.ckpt", **kwargs
+        )
+        assert resumed.best_point == full.best_point
+        assert resumed.best_performance == full.best_performance
+        assert resumed.exploration_seconds == full.exploration_seconds
+        assert resumed.status_counts == full.status_counts
+
+    def test_random_sample_resume_bit_identical(self, tmp_path):
+        full = self.run_uninterrupted(RandomSampleTuner, 6)
+        resumed = self.run_killed_then_resumed(
+            RandomSampleTuner, 3, 6, tmp_path / "rs.ckpt"
+        )
+        assert resumed.best_point == full.best_point
+        assert resumed.exploration_seconds == full.exploration_seconds
+
+    def test_mismatched_tuner_checkpoint_starts_fresh(self, tmp_path):
+        path = tmp_path / "mix.ckpt"
+        RandomSampleTuner(smoke_evaluator(), seed=7).tune(2, num_seeds=2, checkpoint=path)
+        with pytest.warns(UserWarning, match="written by tuner"):
+            result = FlexTensorTuner(smoke_evaluator(), seed=7).tune(
+                2, num_seeds=2, checkpoint=path, resume=True
+            )
+        assert result.found
+
+    def test_resume_without_checkpoint_file_is_fresh_run(self, tmp_path):
+        fresh = self.run_uninterrupted(RandomSampleTuner, 3)
+        resumed = RandomSampleTuner(smoke_evaluator(), seed=7).tune(
+            3, num_seeds=3, checkpoint=tmp_path / "never-written.ckpt", resume=True
+        )
+        assert resumed.best_point == fresh.best_point
+
+
+class TestOptimizeWiring:
+    def test_optimize_checkpoint_and_resume(self, tmp_path):
+        path = tmp_path / "opt.ckpt"
+        out = smoke_output()
+        uninterrupted = optimize(out, V100, trials=6, seed=5)
+        optimize(out, V100, trials=3, seed=5, checkpoint=path)
+        assert load_checkpoint(path) is not None
+        resumed = optimize(out, V100, trials=6, seed=5, checkpoint=path, resume=True)
+        assert resumed.gflops == uninterrupted.gflops
+        assert resumed.config == uninterrupted.config
+        assert (
+            resumed.tuning.exploration_seconds
+            == uninterrupted.tuning.exploration_seconds
+        )
+
+
+@pytest.mark.faults
+class TestCli:
+    def test_selfcheck_faults_smoke(self, capsys):
+        assert cli_main(["selfcheck", "--faults", "--trials", "2"]) == 0
+        assert "selfcheck passed" in capsys.readouterr().out
+
+    def test_cli_checkpoint_flag(self, tmp_path, capsys):
+        path = tmp_path / "cli.ckpt"
+        argv = ["gemm", "--n", "8", "--k", "8", "--m", "8",
+                "--trials", "2", "--checkpoint", str(path)]
+        assert cli_main(argv) == 0
+        assert load_checkpoint(path) is not None
+        assert cli_main(argv + ["--resume"]) == 0

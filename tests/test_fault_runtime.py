@@ -1,0 +1,293 @@
+"""Fault-injection robustness: status classification, retry/backoff
+accounting, quarantine, record-book hardening, and tuner survival under
+every fault configuration (ISSUE #1)."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore import (
+    FlexTensorTuner,
+    PMethodTuner,
+    RandomSampleTuner,
+    RandomWalkTuner,
+)
+from repro.model import V100
+from repro.ops import conv2d_compute, gemm_compute
+from repro.runtime import (
+    Evaluator,
+    Fault,
+    FaultInjector,
+    MeasureConfig,
+    MeasureStatus,
+    RecordBook,
+    TuningRecord,
+)
+from repro.schedule import LoweringError, NodeConfig
+
+ALL_TUNERS = [FlexTensorTuner, PMethodTuner, RandomWalkTuner, RandomSampleTuner]
+
+
+def smoke_evaluator(**kwargs):
+    out = conv2d_compute(1, 8, 8, 8, 16, 3, padding=1, name="c")
+    return Evaluator(out, V100, **kwargs)
+
+
+def tiny_evaluator(**kwargs):
+    return Evaluator(gemm_compute(4, 4, 4, name="g"), V100, **kwargs)
+
+
+def a_point(ev, seed=0):
+    return ev.space.random_point(np.random.default_rng(seed))
+
+
+class FirstAttemptTransient(FaultInjector):
+    """Deterministic test double: fail each point's first attempt only."""
+
+    def decide(self, point, attempt):
+        return Fault.TRANSIENT if attempt == 0 else Fault.NONE
+
+
+class TestStatusClassification:
+    def test_clean_measurement_is_ok(self):
+        ev = smoke_evaluator()
+        result = ev.measure(a_point(ev))
+        assert result.status is MeasureStatus.OK
+        assert result.attempts == 1
+        assert result.performance > 0
+
+    def test_model_rejection_is_compile_error(self):
+        out = gemm_compute(2048, 64, 2048, name="g")
+        ev = Evaluator(out, V100)
+        config = NodeConfig(   # 2048 threads per block: toolchain rejects
+            spatial_factors=((32, 1, 64, 1), (32, 1, 32, 2)),
+            reduce_factors=((64, 1),),
+        )
+        result = ev.measure(ev.space.encode(config))
+        assert result.status is MeasureStatus.COMPILE_ERROR
+        assert result.performance == 0.0
+        assert ev.clock > 0
+
+    def test_lowering_failure_is_lower_error(self, monkeypatch):
+        ev = smoke_evaluator()
+
+        def boom(point):
+            raise LoweringError("cannot lower")
+
+        monkeypatch.setattr(ev, "lower_point", boom)
+        result = ev.measure(a_point(ev))
+        assert result.status is MeasureStatus.LOWER_ERROR
+        assert "cannot lower" in result.error
+
+    def test_exotic_exception_recorded_not_raised(self, monkeypatch):
+        # ValidationError / arithmetic errors from exotic points must be
+        # recorded as failed measurements, never crash the tuner.
+        ev = smoke_evaluator()
+        monkeypatch.setattr(
+            ev.model, "estimate_seconds",
+            lambda s: (_ for _ in ()).throw(ZeroDivisionError("weird point")),
+        )
+        assert ev.evaluate(a_point(ev)) == 0.0
+        result = ev.records[-1]
+        assert result.status is MeasureStatus.COMPILE_ERROR
+        assert "ZeroDivisionError" in result.error
+
+    def test_injected_compile_error(self):
+        ev = smoke_evaluator(fault_injector=FaultInjector(compile_error_rate=1.0))
+        point = a_point(ev)
+        result = ev.measure(point)
+        assert result.status is MeasureStatus.COMPILE_ERROR
+        assert point in ev.cache  # permanent: cached, never re-measured
+
+    def test_hang_charges_full_timeout_budget(self):
+        config = MeasureConfig(timeout_seconds=0.5)
+        ev = smoke_evaluator(
+            fault_injector=FaultInjector(hang_rate=1.0), measure_config=config
+        )
+        result = ev.measure(a_point(ev))
+        assert result.status is MeasureStatus.RUN_TIMEOUT
+        assert ev.clock == pytest.approx(ev.model.measurement_seconds(0.5))
+
+    def test_flaky_point_retried_to_success(self):
+        ev = smoke_evaluator(fault_injector=FirstAttemptTransient())
+        result = ev.measure(a_point(ev))
+        assert result.status is MeasureStatus.FLAKY_RETRIED
+        assert result.attempts == 2
+        assert result.performance > 0
+
+    def test_jitter_perturbs_measurement(self):
+        point = a_point(smoke_evaluator())
+        clean = smoke_evaluator().measure(point)
+        noisy = smoke_evaluator(
+            fault_injector=FaultInjector(jitter=0.3, seed=3)
+        ).measure(point)
+        assert noisy.status is MeasureStatus.OK
+        assert noisy.seconds != clean.seconds
+
+
+class TestRetryAccounting:
+    def test_exhausted_retries_charge_clock_per_attempt(self):
+        mc = MeasureConfig(max_retries=2, backoff_seconds=0.1)
+        ev = smoke_evaluator(
+            fault_injector=FaultInjector(transient_error_rate=1.0), measure_config=mc
+        )
+        result = ev.measure(a_point(ev))
+        assert result.status is MeasureStatus.RUNTIME_ERROR
+        assert result.attempts == 3
+        # Two failed-then-retried attempts (compile cost + exponential
+        # backoff) plus the final failed attempt billed at the charge cap.
+        expected = (
+            2 * ev.model.measurement_seconds(0.0)
+            + 0.1 * (1 + 2)
+            + ev.model.measurement_seconds(mc.charge_cap)
+        )
+        assert ev.clock == pytest.approx(expected)
+
+    def test_transient_failure_not_cached(self):
+        ev = smoke_evaluator(
+            fault_injector=FaultInjector(transient_error_rate=1.0),
+            measure_config=MeasureConfig(max_retries=0, quarantine_threshold=100),
+        )
+        point = a_point(ev)
+        ev.evaluate(point)
+        assert point not in ev.cache
+        before = ev.num_measurements
+        ev.evaluate(point)  # re-visit re-measures (fresh fault rolls)
+        assert ev.num_measurements == before + 1
+
+
+class TestQuarantine:
+    def make(self, threshold=2, qmax=128):
+        return smoke_evaluator(
+            fault_injector=FaultInjector(transient_error_rate=1.0),
+            measure_config=MeasureConfig(
+                max_retries=0, quarantine_threshold=threshold, quarantine_max=qmax
+            ),
+        )
+
+    def test_repeated_failures_quarantine(self):
+        ev = self.make(threshold=2)
+        point = a_point(ev)
+        ev.evaluate(point)
+        ev.evaluate(point)
+        assert point in ev.quarantine
+        clock = ev.clock
+        measurements = ev.num_measurements
+        assert ev.evaluate(point) == 0.0      # served from quarantine:
+        assert ev.clock == clock              # no clock charge,
+        assert ev.num_measurements == measurements  # no measurement
+        assert ev.num_quarantine_hits == 1
+
+    def test_quarantine_eviction_fifo(self):
+        ev = self.make(threshold=1, qmax=2)
+        rng = np.random.default_rng(0)
+        points = []
+        while len(points) < 3:
+            p = ev.space.random_point(rng)
+            if p not in points:
+                points.append(p)
+        for p in points:
+            ev.evaluate(p)
+        assert len(ev.quarantine) == 2
+        assert points[0] not in ev.quarantine   # oldest evicted
+        assert ev.quarantine == (points[1], points[2])
+        # The evicted point gets a clean slate: measurable again.
+        before = ev.num_measurements
+        ev.evaluate(points[0])
+        assert ev.num_measurements == before + 1
+
+    def test_recent_error_rate_tracks_failures(self):
+        ev = self.make(threshold=100)
+        assert ev.recent_error_rate() == 0.0
+        ev.evaluate(a_point(ev))
+        assert ev.recent_error_rate() == 1.0
+
+
+class TestRecordBookHardening:
+    def test_corrupt_lines_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        good = TuningRecord(
+            key="k1", gflops=5.0,
+            config=NodeConfig(spatial_factors=((1,),), reduce_factors=()),
+        )
+        path.write_text(
+            good.to_json() + "\n"
+            + "{not json at all\n"
+            + '{"key": "missing-config"}\n'
+            + good.to_json()[: len(good.to_json()) // 2]  # truncated append
+        )
+        with pytest.warns(UserWarning, match="corrupt record"):
+            book = RecordBook(path)
+        assert len(book) == 1
+        assert book.best("k1").gflops == 5.0
+
+    def test_append_is_durable_line(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        book = RecordBook(path)
+        record = TuningRecord(
+            key="k", gflops=1.0,
+            config=NodeConfig(spatial_factors=((1,),), reduce_factors=()),
+        )
+        book.add(record)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["key"] == "k"
+
+
+@pytest.mark.faults
+class TestTunersUnderFaults:
+    @pytest.mark.parametrize("tuner_cls", ALL_TUNERS)
+    def test_acceptance_rates_survive_20_trials(self, tuner_cls):
+        # ISSUE #1 acceptance: 30% transient + 5% hang, 20-trial run.
+        injector = FaultInjector(transient_error_rate=0.3, hang_rate=0.05, seed=1)
+        ev = smoke_evaluator(
+            fault_injector=injector,
+            measure_config=MeasureConfig(timeout_seconds=0.5),
+        )
+        result = tuner_cls(ev, seed=0).tune(20, num_seeds=3)
+        assert result.num_measurements == sum(result.status_counts.values())
+        assert result.found
+
+    def test_qmethod_within_2x_of_fault_free_best(self):
+        clean = FlexTensorTuner(smoke_evaluator(), seed=0).tune(20, num_seeds=3)
+        injector = FaultInjector(transient_error_rate=0.3, hang_rate=0.05, seed=1)
+        faulty_ev = smoke_evaluator(
+            fault_injector=injector,
+            measure_config=MeasureConfig(timeout_seconds=0.5),
+        )
+        faulty = FlexTensorTuner(faulty_ev, seed=0).tune(20, num_seeds=3)
+        assert faulty.found
+        assert faulty.best_performance >= clean.best_performance / 2
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        tuner_index=st.integers(min_value=0, max_value=len(ALL_TUNERS) - 1),
+        transient=st.floats(min_value=0.0, max_value=0.5),
+        compile_rate=st.floats(min_value=0.0, max_value=0.2),
+        hang=st.floats(min_value=0.0, max_value=0.2),
+        jitter=st.floats(min_value=0.0, max_value=0.2),
+        timeout_on=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_property_all_tuners_complete(
+        self, tuner_index, transient, compile_rate, hang, jitter, timeout_on, seed
+    ):
+        injector = FaultInjector(
+            transient_error_rate=transient,
+            compile_error_rate=compile_rate,
+            hang_rate=hang,
+            jitter=jitter,
+            seed=seed,
+        )
+        measure = MeasureConfig(timeout_seconds=0.5 if timeout_on else None)
+        ev = tiny_evaluator(fault_injector=injector, measure_config=measure)
+        result = ALL_TUNERS[tuner_index](ev, seed=seed).tune(2, num_seeds=2)
+        assert result.num_measurements == sum(result.status_counts.values())
+        assert len(result.curve) == result.num_measurements
+        assert result.exploration_seconds >= 0.0
+        if result.found:
+            assert result.best_performance > 0
+        assert result.best_performance >= 0
