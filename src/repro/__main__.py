@@ -7,7 +7,9 @@ Examples::
     python -m repro gemm --device XeonE5-2699v4 --n 1024 --k 1024 --m 1024
     python -m repro conv2d --device VU9P --size 14 --save tuned.json
     python -m repro conv2d --trials 200 --checkpoint run.ckpt --resume
+    python -m repro gemm --workers 4 --cache-dir ~/.repro-cache
     python -m repro selfcheck --faults
+    python -m repro selfcheck --parallel
 """
 
 from __future__ import annotations
@@ -45,6 +47,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--faults", action="store_true",
                         help="selfcheck only: inject compile errors, hangs "
                              "and flaky measurements into the run")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel evaluation workers (1 = exact "
+                             "bit-reproducible serial path)")
+    parser.add_argument("--cache-dir",
+                        help="directory of the persistent cross-run "
+                             "evaluation cache")
+    parser.add_argument("--parallel", action="store_true",
+                        help="selfcheck only: run the smoke tuners through "
+                             "the 4-worker batched engine")
     # conv2d shape
     parser.add_argument("--batch", type=int, default=1)
     parser.add_argument("--in-channel", type=int, default=256)
@@ -90,11 +101,13 @@ def selfcheck(args) -> int:
         )
         measure = MeasureConfig(timeout_seconds=0.5)
     trials = min(args.trials, 5)
+    workers = 4 if args.parallel else max(1, args.workers)
     failures = 0
     for method in ("q", "p", "random-walk", "random-sample"):
         result = optimize(
             output, device, trials=trials, method=method, seed=args.seed,
             fault_injector=injector, measure_config=measure,
+            workers=workers, cache_dir=args.cache_dir,
         )
         counts = ", ".join(
             f"{k}={v}" for k, v in sorted(result.tuning.status_counts.items())
@@ -103,6 +116,11 @@ def selfcheck(args) -> int:
         if not result.found:
             failures += 1
         print(f"{method:>13}: {verdict}  best={result.gflops:8.1f} GFLOPS  [{counts}]")
+        if workers > 1 and result.tuning.throughput is not None:
+            t = result.tuning.throughput
+            print(f"{'':>13}  {t['points_per_simulated_second']:.1f} pts/s simulated, "
+                  f"cache hit rate {t['cache_hit_rate']:.0%}, "
+                  f"utilization {t['pool_utilization']:.0%}")
     print("selfcheck " + ("passed" if failures == 0 else f"FAILED ({failures} tuners)"))
     return 1 if failures else 0
 
@@ -117,8 +135,18 @@ def main(argv=None) -> int:
     result = optimize(
         output, device, trials=args.trials, method=args.method, seed=args.seed,
         checkpoint=args.checkpoint, resume=args.resume,
+        workers=args.workers, cache_dir=args.cache_dir,
     )
     print(result.summary())
+    throughput = result.tuning.throughput
+    if throughput is not None and (args.workers > 1 or args.cache_dir):
+        print(
+            f"throughput: {throughput['points_per_simulated_second']:.1f} pts/s "
+            f"simulated ({throughput['points_per_wall_second']:.1f} pts/s wall), "
+            f"cache hit rate {throughput['cache_hit_rate']:.0%}, "
+            f"workers={throughput['workers']}, "
+            f"utilization {throughput['pool_utilization']:.0%}"
+        )
     if args.show_code:
         print()
         print(result.generated_code())

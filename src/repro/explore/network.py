@@ -74,6 +74,11 @@ class MLP:
                 h = np.maximum(h, 0.0)
         return h[0] if single else h
 
+    def forward_batch(self, features: Sequence[np.ndarray]) -> np.ndarray:
+        """Q-values for a list of feature vectors via one stacked matrix
+        forward — one GEMM per layer instead of one per vector."""
+        return self.forward(np.stack(features))
+
     def train_batch(self, x: np.ndarray, targets: np.ndarray, mask: np.ndarray) -> float:
         """One AdaDelta step on ``mean((Q - target)^2 * mask)``.
 

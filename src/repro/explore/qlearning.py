@@ -82,6 +82,47 @@ class QAgent:
         scores = q_values + self._direction_reward
         return max(options, key=lambda item: scores[item[0]])
 
+    def choose_directions(
+        self,
+        points: Sequence[Point],
+        visited: set,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Optional[Tuple[int, Point]]]:
+        """Batched direction choice for many walk heads at once.
+
+        One stacked :meth:`MLP.forward_batch` call scores every direction
+        of every head (replacing one forward per head), then each head
+        applies the same epsilon-greedy rule as :meth:`choose_direction`,
+        drawing from ``rng`` in head order.  A ``taken`` set keeps two
+        heads from claiming the same neighbor in the same lockstep, so a
+        batch never submits duplicate points.
+        """
+        rng = rng or self._rng
+        if not points:
+            return []
+        all_q = self.network.forward_batch(
+            [self.space.features(p) for p in points]
+        )
+        taken: set = set()
+        choices: List[Optional[Tuple[int, Point]]] = []
+        for row, point in enumerate(points):
+            options = [
+                (d, nb)
+                for d, nb in self.space.neighbors(point)
+                if nb not in visited and nb not in taken
+            ]
+            if not options:
+                choices.append(None)
+                continue
+            if rng.random() < self.epsilon:
+                choice = options[int(rng.integers(len(options)))]
+            else:
+                scores = all_q[row] + self._direction_reward
+                choice = max(options, key=lambda item: scores[item[0]])
+            taken.add(choice[1])
+            choices.append(choice)
+        return choices
+
     # -- learning -----------------------------------------------------------
 
     def record(self, state: Point, direction: int, next_state: Point, reward: float) -> None:
@@ -110,15 +151,20 @@ class QAgent:
 
         features = np.stack([self.space.features(t.state) for t in batch])
         next_features = np.stack([self.space.features(t.next_state) for t in batch])
+        # Both networks evaluate their whole batch in one matrix forward.
         next_q = self.target_network.forward(next_features)
         current_q = self.network.forward(features)
 
+        # DQN targets, fully vectorized: rows are distinct sampled
+        # transitions, so the fancy-indexed assignment is exact — the
+        # same float64 ops the per-row loop performed.
+        rows = np.arange(len(batch))
+        directions = np.array([t.direction for t in batch])
+        rewards = np.array([t.reward for t in batch])
         targets = current_q.copy()
+        targets[rows, directions] = rewards + self.alpha * next_q.max(axis=1)
         mask = np.zeros_like(targets)
-        for row, transition in enumerate(batch):
-            bootstrap = float(next_q[row].max())
-            targets[row, transition.direction] = transition.reward + self.alpha * bootstrap
-            mask[row, transition.direction] = 1.0
+        mask[rows, directions] = 1.0
         loss = self.network.train_batch(features, targets, mask)
         self.losses.append(loss)
         # Back up the trained parameters into the stabilizing copy [36].

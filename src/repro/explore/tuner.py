@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
-from ..runtime import Evaluator, load_checkpoint, save_checkpoint
+from ..runtime import BatchEngine, Evaluator, load_checkpoint, save_checkpoint
 from ..space import Point, heuristic_seed_points
 from .qlearning import QAgent, normalized_reward
 from .sa import select_starting_points
@@ -45,6 +45,7 @@ class TuneResult:
     exploration_seconds: float     # simulated tuning wall-clock
     curve: List[Tuple[float, float]] = field(default_factory=list)
     status_counts: Dict[str, int] = field(default_factory=dict)
+    throughput: Optional[Dict] = None   # BatchEngine.stats() when one ran
 
     @property
     def found(self) -> bool:
@@ -71,6 +72,7 @@ class BaseTuner:
         seed: int = 0,
         seed_points: Optional[List[Point]] = None,
         degrade_threshold: float = 0.5,
+        engine: Optional[BatchEngine] = None,
     ):
         self.evaluator = evaluator
         self.space = evaluator.space
@@ -84,21 +86,46 @@ class BaseTuner:
         # is poisoned (quarantined / failing points) and degrades: shorter
         # walks plus a fresh SA restart to escape the region.
         self.degrade_threshold = degrade_threshold
+        # Batched evaluation engine (repro.runtime.parallel).  ``None``
+        # and ``workers=1`` both take the exact serial evaluation path;
+        # ``workers>1`` switches the tuners to their batched trial shapes.
+        self.engine = engine
+
+    @property
+    def parallel(self) -> bool:
+        """Whether trials should submit whole candidate batches."""
+        return self.engine is not None and self.engine.workers > 1
 
     # -- helpers -----------------------------------------------------------
 
     def _evaluate(self, point: Point) -> float:
-        performance = self.evaluator.evaluate(point)
-        self.evaluated[point] = performance
-        self.visited.add(point)
-        return performance
+        return self._evaluate_batch([point])[0]
+
+    def _evaluate_batch(self, points: List[Point]) -> List[float]:
+        """Evaluate candidates (through the engine when one is attached)
+        and fold them into the H set.  With no engine — or ``workers=1``
+        — this is byte-for-byte the pre-engine serial loop: evaluation
+        consumes no tuner RNG and H/visited updates commute with it, so
+        collect-then-batch trials stay bit-identical."""
+        if not points:
+            return []
+        if self.engine is not None:
+            performances = self.engine.evaluate_batch(points)
+        else:
+            performances = [self.evaluator.evaluate(p) for p in points]
+        for point, performance in zip(points, performances):
+            self.evaluated[point] = performance
+            self.visited.add(point)
+        return performances
 
     def _seed(self, num_seeds: int) -> None:
         # Explicit warm-start points (e.g. from a RecordBook) come first.
-        for point in self.seed_points:
-            self._evaluate(point)
-        for point in heuristic_seed_points(self.space, num_seeds, self.rng):
-            self._evaluate(point)
+        # One batch for the whole seed set: heuristic_seed_points draws
+        # from the tuner RNG before any evaluation, same as the serial
+        # order did.
+        batch = list(self.seed_points)
+        batch.extend(heuristic_seed_points(self.space, num_seeds, self.rng))
+        self._evaluate_batch(batch)
 
     def _degraded(self) -> bool:
         """Whether the measurement pipeline reports a poisoned region."""
@@ -152,7 +179,12 @@ class BaseTuner:
             self._end_trial(trial)
             if checkpoint and (trial + 1) % checkpoint_every == 0:
                 save_checkpoint(checkpoint, self._snapshot(trial + 1))
-        return self._result()
+        result = self._result()
+        if self.engine is not None:
+            # Engine counters are per-process, so after a resume they
+            # cover the resumed portion of the run only.
+            result.throughput = self.engine.stats()
+        return result
 
     def _run_trial(self, trial: int) -> None:
         raise NotImplementedError
@@ -215,10 +247,11 @@ class FlexTensorTuner(BaseTuner):
         seed: int = 0,
         seed_points: Optional[List[Point]] = None,
         degrade_threshold: float = 0.5,
+        engine: Optional[BatchEngine] = None,
     ):
         super().__init__(
             evaluator, gamma, num_starting_points, seed, seed_points,
-            degrade_threshold=degrade_threshold,
+            degrade_threshold=degrade_threshold, engine=engine,
         )
         self.steps = steps
         self.agent = QAgent(
@@ -229,6 +262,9 @@ class FlexTensorTuner(BaseTuner):
         )
 
     def _run_trial(self, trial: int) -> None:
+        if self.parallel:
+            self._run_trial_batched(trial)
+            return
         steps = self.steps
         if self._degraded():
             # Poisoned neighborhood: shorten the walks and inject a fresh
@@ -257,6 +293,45 @@ class FlexTensorTuner(BaseTuner):
                 )
                 current = neighbor
 
+    def _run_trial_batched(self, trial: int) -> None:
+        """Lockstep-parallel variant of the Q-trial: all walk heads take
+        their step together, so each step costs one batched network
+        forward plus one batched evaluation instead of one of each per
+        head.  The serial trial interleaves direction-prior updates with
+        later heads' choices, so this path is reserved for ``workers>1``
+        — the serial path stays bit-identical to the pre-engine code."""
+        steps = self.steps
+        if self._degraded():
+            steps = max(1, self.steps // 2)
+            self._evaluate(self.space.random_point(self.rng))
+        starts = select_starting_points(
+            self.evaluated, self.num_starting_points, self.gamma, self.rng
+        )
+        heads = list(starts)
+        active = list(range(len(heads)))
+        for _step in range(steps):
+            if not active:
+                break
+            choices = self.agent.choose_directions(
+                [heads[i] for i in active], self.visited, self.rng
+            )
+            moves = [
+                (i, choice[0], choice[1])
+                for i, choice in zip(active, choices)
+                if choice is not None
+            ]
+            if not moves:
+                break
+            performances = self._evaluate_batch([nb for _, _, nb in moves])
+            for (i, direction, neighbor), perf_to in zip(moves, performances):
+                perf_from = self.evaluated[heads[i]]
+                self.agent.record(
+                    heads[i], direction, neighbor,
+                    normalized_reward(perf_from, perf_to),
+                )
+                heads[i] = neighbor
+            active = [i for i, _, _ in moves]
+
     def _end_trial(self, trial: int) -> None:
         self.agent.end_trial()
 
@@ -279,11 +354,19 @@ class PMethodTuner(BaseTuner):
         starts = select_starting_points(
             self.evaluated, self.num_starting_points, self.gamma, self.rng
         )
+        # Collect every unvisited direction of every start, then submit
+        # the whole trial as one batch.  Marking visited at collection
+        # reproduces the serial membership checks exactly (a neighbor
+        # shared by two starts is collected once, in the same position
+        # the serial loop would have evaluated it).
+        batch: List[Point] = []
         for start in starts:
             for _direction, neighbor in self.space.neighbors(start):
                 if neighbor in self.visited:
                     continue
-                self._evaluate(neighbor)
+                self.visited.add(neighbor)
+                batch.append(neighbor)
+        self._evaluate_batch(batch)
 
 
 class RandomWalkTuner(BaseTuner):
@@ -297,6 +380,10 @@ class RandomWalkTuner(BaseTuner):
         starts = select_starting_points(
             self.evaluated, self.num_starting_points, self.gamma, self.rng
         )
+        # One random unvisited direction per start, drawn in start order
+        # (evaluation consumes no tuner RNG, so collect-then-batch makes
+        # the same draws the serial loop made), submitted as one batch.
+        batch: List[Point] = []
         for start in starts:
             options = [
                 (d, nb)
@@ -306,7 +393,9 @@ class RandomWalkTuner(BaseTuner):
             if not options:
                 continue
             _direction, neighbor = options[int(self.rng.integers(len(options)))]
-            self._evaluate(neighbor)
+            self.visited.add(neighbor)
+            batch.append(neighbor)
+        self._evaluate_batch(batch)
 
 
 class RandomSampleTuner(BaseTuner):
@@ -317,5 +406,6 @@ class RandomSampleTuner(BaseTuner):
     name = "random-sample"
 
     def _run_trial(self, trial: int) -> None:
-        for _ in range(self.num_starting_points):
-            self._evaluate(self.space.random_point(self.rng))
+        self._evaluate_batch(
+            [self.space.random_point(self.rng) for _ in range(self.num_starting_points)]
+        )

@@ -23,7 +23,7 @@ from ..explore import (
 )
 from ..graph import MiniGraph, get_graph
 from ..model import model_for, target_of
-from ..runtime import Evaluator, FaultInjector, MeasureConfig
+from ..runtime import BatchEngine, EvalCache, Evaluator, FaultInjector, MeasureConfig
 from ..schedule import GraphConfig, NodeConfig, Scheduled, lower
 from ..space import ScheduleSpace, build_space
 
@@ -148,6 +148,8 @@ def optimize(
     checkpoint=None,
     checkpoint_every: int = 1,
     resume: bool = False,
+    workers: int = 1,
+    cache_dir=None,
 ) -> OptimizeResult:
     """Optimize one tensor computation for one device (Algorithm 1).
 
@@ -174,6 +176,13 @@ def optimize(
             snapshotted every ``checkpoint_every`` trials when set.
         resume: restore the newest checkpoint snapshot (if any) and
             continue the interrupted run from its trial index.
+        workers: candidate evaluations per batch.  1 (default) keeps the
+            bit-reproducible serial path; >1 overlaps simulated
+            measurement time across that many workers (and uses a real
+            process pool on multi-core hosts) — ``docs/parallel.md``.
+        cache_dir: directory of a persistent cross-run evaluation cache;
+            warm runs serve previously measured (canonical) points for
+            free.  ``None`` (default) disables persistence.
     """
     graph = output if isinstance(output, MiniGraph) else get_graph(output)
     # Front-end: static analysis + schedule space (pruned + rearranged).
@@ -183,9 +192,11 @@ def optimize(
     graph_config = graph_config or GraphConfig()
 
     # Back-end: exploration over the space.
+    eval_cache = EvalCache(cache_dir) if cache_dir else None
     evaluator = Evaluator(
         graph, device_spec, space=space, graph_config=graph_config,
         measure_config=measure_config, fault_injector=fault_injector,
+        eval_cache=eval_cache,
     )
     try:
         tuner_cls = _TUNERS[method]
@@ -199,20 +210,25 @@ def optimize(
             seed_points.append(space.encode(warm_start))
         except (KeyError, ValueError, IndexError):
             pass  # the stored config lies outside this (pruned) space
+    engine = BatchEngine(evaluator, workers=workers)
     tuner = tuner_cls(
         evaluator,
         gamma=gamma,
         num_starting_points=num_starting_points,
         seed=seed,
         seed_points=seed_points,
+        engine=engine,
     )
-    tuning = tuner.tune(
-        trials,
-        num_seeds=num_seeds,
-        checkpoint=checkpoint,
-        checkpoint_every=checkpoint_every,
-        resume=resume,
-    )
+    try:
+        tuning = tuner.tune(
+            trials,
+            num_seeds=num_seeds,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
+    finally:
+        engine.close()
 
     # Schedule implementation for the chosen point (Algorithm 1, line 8:
     # Schedule_for_graph — decide the graph-level inline placements).
@@ -277,6 +293,8 @@ def tune_workload(
             trials=trials,
             seed=kwargs.get("seed", 0),
         ))
+    if records is not None and result.tuning.throughput is not None:
+        records.add_metrics({"key": key, **result.tuning.throughput})
     return result
 
 

@@ -1,6 +1,7 @@
 """Measurement harness, simulated exploration clock, fault injection,
-checkpointing, and tuning records."""
+checkpointing, batched parallel evaluation, and tuning records."""
 
+from .cache import EVALCACHE_VERSION, EvalCache
 from .checkpoint import CHECKPOINT_VERSION, load_checkpoint, save_checkpoint
 from .fault import (
     Fault,
@@ -16,10 +17,14 @@ from .measure import (
     MeasureResult,
     MeasureStatus,
 )
+from .parallel import BatchEngine
 from .records import RecordBook, TuningRecord, workload_key
 
 __all__ = [
+    "BatchEngine",
     "CHECKPOINT_VERSION",
+    "EVALCACHE_VERSION",
+    "EvalCache",
     "Evaluator",
     "Fault",
     "FaultInjector",

@@ -103,6 +103,16 @@ class FaultInjector:
         rng.random()  # burn the fault draw so noise is independent of it
         return max(0.05, 1.0 + float(rng.normal(0.0, self.jitter)))
 
+    def describe(self) -> str:
+        """Compact identity string: folds the injector configuration into
+        the persistent evaluation-cache key so runs with different fault
+        setups never share cached outcomes."""
+        return (
+            f"{type(self).__name__}(c={self.compile_error_rate},"
+            f"h={self.hang_rate},t={self.transient_error_rate},"
+            f"j={self.jitter},seed={self.seed})"
+        )
+
     # -- convenience -------------------------------------------------------
 
     def attach(self, evaluator) -> "FaultInjector":

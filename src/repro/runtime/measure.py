@@ -18,14 +18,17 @@ and points that keep failing are quarantined — see ``docs/robustness.md``.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..codegen import flops_of
 from ..graph import MiniGraph, get_graph
+from ..ir import format_operation
 from ..model import INVALID_TIME, PerformanceModel, model_for, target_of
 from ..schedule import GraphConfig, LoweringError, Scheduled, lower
 from ..space import Point, ScheduleSpace, build_space
+from .cache import EvalCache
 from .fault import (
     Fault,
     FaultInjector,
@@ -142,6 +145,8 @@ class Evaluator:
         model: Optional[PerformanceModel] = None,
         measure_config: Optional[MeasureConfig] = None,
         fault_injector: Optional[FaultInjector] = None,
+        eval_cache: Optional[EvalCache] = None,
+        canonicalize: bool = True,
     ):
         self.graph: MiniGraph = output if isinstance(output, MiniGraph) else get_graph(output)
         self.device_spec = device_spec
@@ -166,6 +171,18 @@ class Evaluator:
         self._quarantine: List[Point] = []
         self._quarantined: set = set()
         self.num_quarantine_hits = 0
+        # Canonicalization (ISSUE #2): equivalent points share one
+        # measurement.  The memo above stays keyed by *raw* points (so
+        # records, quarantine and resume are untouched); the index below
+        # maps each canonical key to the first measured representative.
+        self.canonicalize = canonicalize
+        self.eval_cache = eval_cache
+        self._canon_index: Dict[Point, Point] = {}
+        self._canon_memo: Dict[Point, Point] = {}
+        self.num_memo_hits = 0
+        self.num_canon_hits = 0
+        self.num_disk_hits = 0
+        self._op_signature: Optional[str] = None
 
     # -- evaluation --------------------------------------------------------
 
@@ -181,14 +198,101 @@ class Evaluator:
         matching the paper's "record the visited points to avoid repeated
         searching".  Transient failures are *not* cached, so a later
         visit re-measures — unless the point has been quarantined.
+
+        This is the *strict* serial path: with no persistent cache
+        attached its behaviour (including which points get measured) is
+        bit-identical to the pre-engine evaluator.  Canonical-equivalence
+        serving — one measurement covering permuted-but-equivalent
+        points — happens in :meth:`lookup`, the probe the batch engine
+        uses, and through the opt-in persistent cache below.
         """
         if point in self.cache:
+            self.num_memo_hits += 1
             return self.cache[point]
         if point in self._quarantined:
             self.num_quarantine_hits += 1
             return 0.0
+        if self.eval_cache is not None:
+            performance = self._disk_lookup(point)
+            if performance is not None:
+                return performance
         result = self.measure(point)
         return result.performance
+
+    def lookup(self, point: Point) -> Optional[float]:
+        """Free-of-charge cache probe, or None if the point needs measuring.
+
+        Consulted in order: the raw in-run memo, the canonical index
+        (an equivalent point was already measured — :meth:`canonical_key`
+        membership *before* the miss is declared, per ISSUE #2), the
+        quarantine set, and finally the persistent cross-run cache.  None
+        of these advance the simulated clock or append a record.
+        """
+        if point in self.cache:
+            self.num_memo_hits += 1
+            return self.cache[point]
+        canon = self.canonical_key(point)
+        representative = self._canon_index.get(canon)
+        if representative is not None and representative in self.cache:
+            self.num_canon_hits += 1
+            return self.cache[representative]
+        if point in self._quarantined:
+            self.num_quarantine_hits += 1
+            return 0.0
+        if self.eval_cache is not None:
+            return self._disk_lookup(point, canon)
+        return None
+
+    def _disk_lookup(self, point: Point, canon: Optional[Point] = None) -> Optional[float]:
+        """Probe the persistent cache; fold a hit into the in-run memo."""
+        if canon is None:
+            canon = self.canonical_key(point)
+        entry = self.eval_cache.get(self.op_signature(), canon)
+        if entry is None:
+            return None
+        performance, _status = entry
+        self.cache[point] = performance
+        self._canon_index.setdefault(canon, point)
+        self.num_disk_hits += 1
+        return performance
+
+    def canonical_key(self, point: Point) -> Point:
+        """Canonical representative of a point (identity when disabled)."""
+        if not self.canonicalize:
+            return point
+        canon = self._canon_memo.get(point)
+        if canon is None:
+            canon = self.space.canonical_point(point)
+            self._canon_memo[point] = canon
+        return canon
+
+    def op_signature(self) -> str:
+        """Stable identity of (operator, shapes, device, run settings) —
+        the first half of the persistent cache key.  Two evaluators share
+        cache entries iff their signatures match, so the signature folds
+        in everything that changes a measured value: the compute
+        definition (pseudo-code hash covers shapes and expressions), the
+        target and device, graph inline decisions, the timeout policy,
+        and the fault-injector configuration when one is active."""
+        if self._op_signature is None:
+            op = self.graph.main_op
+            digest = hashlib.md5(format_operation(op).encode()).hexdigest()[:16]
+            device = getattr(self.device_spec, "name", str(self.device_spec))
+            parts = [
+                f"op={op.name}",
+                f"shape={tuple(op.output.shape)}",
+                f"ir={digest}",
+                f"target={self.target}",
+                f"device={device}",
+                f"timeout={self.measure_config.timeout_seconds}",
+            ]
+            inline = sorted(self.graph_config.inline.items())
+            if inline:
+                parts.append(f"inline={inline}")
+            if self.fault_injector is not None:
+                parts.append(f"faults={self.fault_injector.describe()}")
+            self._op_signature = "|".join(parts)
+        return self._op_signature
 
     def measure(self, point: Point) -> MeasureResult:
         """Run the full fault-tolerant measurement pipeline on one point."""
@@ -209,11 +313,78 @@ class Evaluator:
             break
         return result
 
+    # -- pool-safe measurement halves (repro.runtime.parallel) -------------
+
+    def remote_outcome(self, point: Point, base_attempt: int = 0) -> Dict:
+        """The *pure* half of :meth:`measure`: run the retry loop and
+        return a picklable outcome dict, mutating no evaluator state.
+
+        ``base_attempt`` is the point's lifetime attempt count at
+        submission time, so fault-injector rolls are identical to the
+        rolls the serial path would have made.  The parent applies the
+        outcome (clock, cache, records) with :meth:`apply_remote`.
+        """
+        config = self.measure_config
+        attempts = 0
+        while True:
+            attempts += 1
+            status, seconds, error = self._attempt_at(point, base_attempt + attempts - 1)
+            if status is MeasureStatus.RUNTIME_ERROR and attempts <= config.max_retries:
+                continue
+            return {
+                "point": list(point),
+                "status": status.value,
+                "seconds": seconds,
+                "attempts": attempts,
+                "error": error,
+            }
+
+    def outcome_cost(self, outcome: Dict) -> float:
+        """Simulated seconds one outcome bills — identical accounting to
+        the serial :meth:`measure` path: each failed-then-retried attempt
+        pays a compile cost plus exponential backoff, and the final
+        attempt pays the (capped) kernel time."""
+        config = self.measure_config
+        cost = 0.0
+        for retry in range(outcome["attempts"] - 1):
+            cost += self.model.measurement_seconds(0.0)
+            cost += config.backoff_seconds * (2 ** retry)
+        cost += self.model.measurement_seconds(
+            min(outcome["seconds"], config.charge_cap)
+        )
+        return cost
+
+    def apply_remote(self, point: Point, outcome: Dict, clock: float) -> MeasureResult:
+        """The *billing* half of :meth:`measure`: fold a worker outcome
+        into evaluator state, stamping the record with the simulated
+        completion ``clock`` computed by the batch engine."""
+        self._attempt_counts[point] = (
+            self._attempt_counts.get(point, 0) + outcome["attempts"]
+        )
+        return self._finish(
+            point,
+            MeasureStatus(outcome["status"]),
+            outcome["seconds"],
+            outcome["attempts"],
+            outcome["error"],
+            clock=clock,
+        )
+
     def _attempt(self, point: Point) -> Tuple[MeasureStatus, float, Optional[str]]:
         """One measurement attempt: (status, kernel seconds, error)."""
-        config = self.measure_config
         attempt_index = self._attempt_counts.get(point, 0)
         self._attempt_counts[point] = attempt_index + 1
+        return self._attempt_at(point, attempt_index)
+
+    def _attempt_at(
+        self, point: Point, attempt_index: int
+    ) -> Tuple[MeasureStatus, float, Optional[str]]:
+        """One measurement attempt at an explicit lifetime attempt index.
+
+        Pure with respect to evaluator state: touches no counters, no
+        clock, no records — safe to run inside a forked worker process.
+        """
+        config = self.measure_config
         fault = Fault.NONE
         if self.fault_injector is not None:
             fault = self.fault_injector.decide(point, attempt_index)
@@ -252,8 +423,15 @@ class Evaluator:
         seconds: float,
         attempts: int,
         error: Optional[str],
+        clock: Optional[float] = None,
     ) -> MeasureResult:
-        """Charge the clock, classify, cache, and record one measurement."""
+        """Charge the clock, classify, cache, and record one measurement.
+
+        ``clock=None`` is the serial path: the evaluator's own clock
+        advances by the (capped) measurement cost.  The batch engine
+        passes an explicit simulated completion time instead — worker
+        costs overlap, so the engine owns the clock arithmetic.
+        """
         config = self.measure_config
         if status is MeasureStatus.OK and attempts > 1:
             status = MeasureStatus.FLAKY_RETRIED
@@ -261,17 +439,24 @@ class Evaluator:
             performance = self.flops / seconds / 1e9
         else:
             performance = 0.0
-        # A hang (or a kernel past the timeout) bills the *full* timeout
-        # budget — real tuners pay wall-clock waiting for the deadline.
-        self.clock += self.model.measurement_seconds(min(seconds, config.charge_cap))
+        if clock is None:
+            # A hang (or a kernel past the timeout) bills the *full*
+            # timeout budget — real tuners pay wall-clock waiting for the
+            # deadline.
+            self.clock += self.model.measurement_seconds(min(seconds, config.charge_cap))
+            clock = self.clock
         self.num_measurements += 1
         if status.permanent:
             self.cache[point] = performance
+            canon = self.canonical_key(point)
+            self._canon_index.setdefault(canon, point)
+            if self.eval_cache is not None:
+                self.eval_cache.put(self.op_signature(), canon, performance, status.value)
         else:
             self._record_failure(point)
         self.status_counts[status.value] = self.status_counts.get(status.value, 0) + 1
         result = MeasureResult(
-            point, performance, seconds, self.clock, self.num_measurements,
+            point, performance, seconds, clock, self.num_measurements,
             status=status, attempts=attempts, error=error,
         )
         self.records.append(result)
@@ -352,6 +537,9 @@ class Evaluator:
             "failure_counts": [[list(p), c] for p, c in self._failure_counts.items()],
             "quarantine": [list(p) for p in self._quarantine],
             "num_quarantine_hits": self.num_quarantine_hits,
+            "num_memo_hits": self.num_memo_hits,
+            "num_canon_hits": self.num_canon_hits,
+            "num_disk_hits": self.num_disk_hits,
         }
 
     def set_state(self, state: Dict) -> None:
@@ -366,6 +554,15 @@ class Evaluator:
         self._quarantine = [tuple(p) for p in state.get("quarantine", [])]
         self._quarantined = set(self._quarantine)
         self.num_quarantine_hits = state.get("num_quarantine_hits", 0)
+        self.num_memo_hits = state.get("num_memo_hits", 0)
+        self.num_canon_hits = state.get("num_canon_hits", 0)
+        self.num_disk_hits = state.get("num_disk_hits", 0)
+        # Rebuild the canonical index from the memo in insertion order so
+        # each class maps to the same first-measured representative an
+        # uninterrupted run would have chosen.
+        self._canon_index = {}
+        for p in self.cache:
+            self._canon_index.setdefault(self.canonical_key(p), p)
 
     # -- results -------------------------------------------------------------
 

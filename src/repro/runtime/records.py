@@ -75,6 +75,11 @@ class RecordBook:
             if not line:
                 continue
             try:
+                if json.loads(line).get("type") is not None:
+                    continue  # typed side-channel line (e.g. metrics)
+            except json.JSONDecodeError:
+                pass  # fall through to the record parser's warning
+            try:
                 yield TuningRecord.from_json(line)
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):
                 # A record file truncated mid-append (killed process) or
@@ -101,6 +106,37 @@ class RecordBook:
                 f.write(record.to_json() + "\n")
                 f.flush()
                 os.fsync(f.fileno())
+
+    def add_metrics(self, payload: Dict) -> None:
+        """Append a throughput/metrics side-channel line.
+
+        Metrics ride in the same JSONL file tagged ``"type": "metrics"``;
+        record loading skips typed lines, so old readers are unaffected.
+        """
+        if not self.path:
+            return
+        line = json.dumps({"type": "metrics", **payload})
+        with open(self.path, "a") as f:
+            f.write(line + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    def metrics(self) -> List[Dict]:
+        """All metrics lines in append order (empty without a path)."""
+        if not self.path or not self.path.exists():
+            return []
+        found = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(payload, dict) and payload.get("type") == "metrics":
+                found.append(payload)
+        return found
 
     def best(self, key: str) -> Optional[TuningRecord]:
         """Best known record for a workload key, or None."""

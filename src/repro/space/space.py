@@ -35,12 +35,29 @@ from ..schedule import (
     GPU_SPATIAL_PARTS,
     NodeConfig,
     REORDER_CHOICES,
+    REORDER_REDUCE_INNER,
     UNROLL_CHOICES,
 )
 from .factorization import closest_factorization
 from .knobs import ChoiceKnob, Knob, SplitKnob
 
-Point = Tuple[int, ...]
+
+class Point(tuple):
+    """A schedule-space point: one choice index per knob.
+
+    ``Point`` subclasses :class:`tuple`, so instances hash and compare
+    equal to the plain tuples used throughout the codebase — every API
+    that accepts a tuple accepts a ``Point`` and vice versa.  The only
+    addition is :meth:`canonical`, which maps the point onto the
+    canonical representative of its measurement-equivalence class (see
+    :meth:`ScheduleSpace.canonical_point`).
+    """
+
+    __slots__ = ()
+
+    def canonical(self, space: "ScheduleSpace") -> "Point":
+        """Canonical representative of this point's equivalence class."""
+        return space.canonical_point(self)
 
 
 class ScheduleSpace:
@@ -58,6 +75,75 @@ class ScheduleSpace:
             for d in range(knob.num_directions)
         ]
         self._feature_size = sum(k.feature_size for k in self.knobs)
+        self._canonical_rules = self._build_canonical_rules()
+
+    def _build_canonical_rules(self):
+        """Precompute the knob positions used by :meth:`canonical_point`.
+
+        Two measurement-equivalences hold for the performance models in
+        this repo (verified by ``tests/test_parallel_engine.py``):
+
+        * All nonzero unroll depths are equivalent — every model only
+          tests ``config.unroll_depth`` for truthiness, and the lowering
+          annotation carries no depth the models read.
+        * On GPU, ``vectorize`` is dead when the reorder choice keeps the
+          reduction innermost (``REORDER_REDUCE_INNER``) and the op has
+          reduce axes: lowering only vectorizes an innermost *spatial*
+          loop, so both settings lower (and cost) identically.
+        """
+        rules = {}
+        unroll = self._knob_by_name.get("unroll")
+        if unroll is not None:
+            nonzero = [i for i, v in enumerate(unroll.choices) if v]
+            if nonzero:
+                rules["unroll"] = (
+                    [k.name for k in self.knobs].index("unroll"),
+                    min(nonzero),
+                )
+        if (
+            self.target == "gpu"
+            and "vectorize" in self._knob_by_name
+            and "reorder" in self._knob_by_name
+            and self.op.reduce_axes
+        ):
+            names = [k.name for k in self.knobs]
+            reorder = self._knob_by_name["reorder"]
+            dead_reorders = {
+                i for i, v in enumerate(reorder.choices) if v == REORDER_REDUCE_INNER
+            }
+            rules["vectorize"] = (
+                names.index("vectorize"),
+                names.index("reorder"),
+                dead_reorders,
+                self._knob_by_name["vectorize"].index_of(False),
+            )
+        return rules
+
+    def canonical_point(self, point: Point) -> Point:
+        """Map ``point`` onto the canonical representative of its
+        measurement-equivalence class.
+
+        Equivalent points lower to schedules with identical modeled cost,
+        so evaluating one representative suffices; the evaluator uses this
+        to avoid re-measuring permuted-but-equivalent configurations.
+        Points that are already canonical are returned unchanged (as the
+        same tuple value), so canonicalization is idempotent.
+        """
+        rules = self._canonical_rules
+        if not rules:
+            return Point(point)
+        values = list(point)
+        unroll_rule = rules.get("unroll")
+        if unroll_rule is not None:
+            position, smallest_nonzero = unroll_rule
+            if self.knobs[position].choices[values[position]]:
+                values[position] = smallest_nonzero
+        vector_rule = rules.get("vectorize")
+        if vector_rule is not None:
+            vec_pos, reorder_pos, dead_reorders, off_index = vector_rule
+            if values[reorder_pos] in dead_reorders:
+                values[vec_pos] = off_index
+        return Point(values)
 
     # -- basic geometry ---------------------------------------------------
 

@@ -1,0 +1,344 @@
+"""Batched parallel evaluation engine and point canonicalization
+(ISSUE #2): canonical-equivalence soundness, workers=1 bit-identity with
+the serial path, simulated-clock overlap, dedup, quarantine interaction,
+resume, and the real fork pool (marked slow)."""
+
+import numpy as np
+import pytest
+
+from repro.explore import (
+    FlexTensorTuner,
+    PMethodTuner,
+    RandomSampleTuner,
+    RandomWalkTuner,
+)
+from repro.model import DEVICES, V100, XEON_E5_2699V4
+from repro.ops import conv2d_compute, gemm_compute
+from repro.runtime import (
+    BatchEngine,
+    Evaluator,
+    FaultInjector,
+    MeasureConfig,
+)
+from repro.schedule import REORDER_REDUCE_INNER, REORDER_SPATIAL_INNER
+from repro.space import Point, build_space, heuristic_seed_points
+
+ALL_TUNERS = [FlexTensorTuner, PMethodTuner, RandomWalkTuner, RandomSampleTuner]
+
+
+def gemm_evaluator(device=V100, **kwargs):
+    return Evaluator(gemm_compute(8, 8, 8, name="g"), device, **kwargs)
+
+
+def smoke_evaluator(**kwargs):
+    out = conv2d_compute(1, 8, 8, 8, 16, 3, padding=1, name="c")
+    return Evaluator(out, V100, **kwargs)
+
+
+def distinct_points(ev, count, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    while len(points) < count:
+        p = ev.space.random_point(rng)
+        if p not in points:
+            points.append(p)
+    return points
+
+
+def knob_index(space, name):
+    return [k.name for k in space.knobs].index(name)
+
+
+class TestCanonicalPoint:
+    def test_point_helper_delegates_to_space(self):
+        ev = gemm_evaluator()
+        point = Point(distinct_points(ev, 1)[0])
+        assert point.canonical(ev.space) == ev.space.canonical_point(point)
+
+    def test_point_is_a_tuple(self):
+        p = Point((1, 2, 3))
+        assert p == (1, 2, 3)
+        assert hash(p) == hash((1, 2, 3))
+        assert isinstance(p, tuple)
+
+    def test_nonzero_unroll_depths_collapse(self):
+        space = gemm_evaluator().space
+        ui = knob_index(space, "unroll")
+        base = list(heuristic_seed_points(space, 1, np.random.default_rng(0))[0])
+        variants = set()
+        for choice in range(1, len(space.knob("unroll").choices)):
+            base[ui] = choice
+            variants.add(space.canonical_point(tuple(base)))
+        assert len(variants) == 1
+        base[ui] = 0  # unroll off is its own class
+        assert space.canonical_point(tuple(base)) not in variants
+
+    def test_unroll_equivalence_is_sound_under_the_model(self):
+        # The rule exists because every model reads unroll_depth only for
+        # truthiness; this guard fails if a model ever starts reading the
+        # depth itself.
+        for device in (V100, XEON_E5_2699V4):
+            ev = gemm_evaluator(device=device)
+            ui = knob_index(ev.space, "unroll")
+            point = list(heuristic_seed_points(ev.space, 1, np.random.default_rng(0))[0])
+            estimates = set()
+            for choice in range(1, len(ev.space.knob("unroll").choices)):
+                point[ui] = choice
+                estimates.add(ev.model.estimate_seconds(ev.lower_point(tuple(point))))
+            assert len(estimates) == 1
+
+    def test_gpu_vectorize_dead_when_reduce_innermost(self):
+        space = gemm_evaluator().space
+        vi = knob_index(space, "vectorize")
+        ri = knob_index(space, "reorder")
+        point = list(heuristic_seed_points(space, 1, np.random.default_rng(0))[0])
+        point[ri] = space.knob("reorder").index_of(REORDER_REDUCE_INNER)
+        on, off = list(point), list(point)
+        on[vi] = space.knob("vectorize").index_of(True)
+        off[vi] = space.knob("vectorize").index_of(False)
+        assert space.canonical_point(tuple(on)) == space.canonical_point(tuple(off))
+        # ... and sound: both lower to identically-costed schedules.
+        ev = gemm_evaluator()
+        assert ev.model.estimate_seconds(ev.lower_point(tuple(on))) == \
+            ev.model.estimate_seconds(ev.lower_point(tuple(off)))
+
+    def test_gpu_vectorize_live_when_spatial_innermost(self):
+        space = gemm_evaluator().space
+        vi = knob_index(space, "vectorize")
+        ri = knob_index(space, "reorder")
+        point = list(heuristic_seed_points(space, 1, np.random.default_rng(0))[0])
+        point[ri] = space.knob("reorder").index_of(REORDER_SPATIAL_INNER)
+        on, off = list(point), list(point)
+        on[vi] = space.knob("vectorize").index_of(True)
+        off[vi] = space.knob("vectorize").index_of(False)
+        assert space.canonical_point(tuple(on)) != space.canonical_point(tuple(off))
+
+    def test_canonicalization_is_idempotent(self):
+        space = smoke_evaluator().space
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            canon = space.canonical_point(space.random_point(rng))
+            assert space.canonical_point(canon) == canon
+
+    def test_fpga_space_is_identity(self):
+        ev = Evaluator(gemm_compute(8, 8, 8, name="g"), DEVICES["VU9P"])
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            p = ev.space.random_point(rng)
+            assert ev.space.canonical_point(p) == p
+
+    def test_engine_serves_equivalent_point_without_remeasuring(self):
+        ev = gemm_evaluator()
+        engine = BatchEngine(ev, workers=2, use_pool=False)
+        space = ev.space
+        ui = knob_index(space, "unroll")
+        a = list(heuristic_seed_points(space, 1, np.random.default_rng(0))[0])
+        a[ui] = 1
+        b = list(a)
+        b[ui] = 2  # different unroll depth, same equivalence class
+        engine.evaluate_batch([tuple(a)])
+        before = ev.num_measurements
+        (perf,) = engine.evaluate_batch([tuple(b)])
+        assert ev.num_measurements == before  # served from the canon index
+        assert perf == ev.cache[tuple(a)]
+        assert ev.num_canon_hits == 1
+
+
+class TestWorkersOneBitIdentity:
+    """workers=1 must be byte-for-byte the serial path, faults included."""
+
+    def faulty_evaluator(self):
+        return Evaluator(
+            gemm_compute(4, 4, 4, name="g"), V100,
+            fault_injector=FaultInjector(
+                transient_error_rate=0.3, hang_rate=0.05, seed=1
+            ),
+            measure_config=MeasureConfig(timeout_seconds=0.5),
+        )
+
+    @pytest.mark.parametrize("tuner_cls", ALL_TUNERS)
+    def test_tune_results_identical(self, tuner_cls):
+        plain = tuner_cls(self.faulty_evaluator(), seed=0).tune(4, num_seeds=3)
+        ev = self.faulty_evaluator()
+        engine = BatchEngine(ev, workers=1)
+        engined = tuner_cls(ev, seed=0, engine=engine).tune(4, num_seeds=3)
+        assert engined.best_point == plain.best_point
+        assert engined.best_performance == plain.best_performance
+        assert engined.curve == plain.curve
+        assert engined.status_counts == plain.status_counts
+        assert engined.exploration_seconds == plain.exploration_seconds
+        assert engined.throughput is not None
+
+    def test_workers1_resume_bit_identical(self, tmp_path):
+        def run(checkpoint=None, resume=False, trials=8):
+            ev = self.faulty_evaluator()
+            tuner = FlexTensorTuner(ev, seed=7, engine=BatchEngine(ev, workers=1))
+            return tuner.tune(
+                trials, num_seeds=3, checkpoint=checkpoint, resume=resume
+            )
+
+        full = run()
+        path = tmp_path / "run.ckpt"
+        run(checkpoint=path, trials=6)           # killed after 6 trials
+        resumed = run(checkpoint=path, resume=True)
+        assert resumed.best_point == full.best_point
+        assert resumed.curve == full.curve
+        assert resumed.status_counts == full.status_counts
+        assert resumed.exploration_seconds == full.exploration_seconds
+
+
+class TestBatchEngine:
+    def test_parallel_matches_serial_values(self):
+        points = distinct_points(gemm_evaluator(), 8)
+        ev_s = gemm_evaluator()
+        serial = BatchEngine(ev_s, workers=1).evaluate_batch(points)
+        ev_p = gemm_evaluator()
+        parallel = BatchEngine(ev_p, workers=4, use_pool=False).evaluate_batch(points)
+        assert serial == parallel
+        assert ev_s.num_measurements == ev_p.num_measurements
+
+    def test_simulated_clock_overlaps(self):
+        points = distinct_points(gemm_evaluator(), 8)
+        ev_s = gemm_evaluator()
+        BatchEngine(ev_s, workers=1).evaluate_batch(points)
+        ev_p = gemm_evaluator()
+        BatchEngine(ev_p, workers=4, use_pool=False).evaluate_batch(points)
+        # 8 equal-cost jobs on 4 virtual workers: half the span of 2-deep
+        # chains vs. an 8-deep serial chain.
+        assert ev_p.clock < ev_s.clock / 2
+        assert ev_p.clock > 0
+
+    def test_parallel_is_deterministic(self):
+        points = distinct_points(gemm_evaluator(), 10, seed=5)
+
+        def run():
+            ev = gemm_evaluator(
+                fault_injector=FaultInjector(transient_error_rate=0.3, seed=2)
+            )
+            engine = BatchEngine(ev, workers=4, use_pool=False)
+            values = engine.evaluate_batch(points)
+            return values, ev.clock, [r.to_dict() for r in ev.records]
+
+        assert run() == run()
+
+    def test_records_have_monotone_clocks(self):
+        ev = gemm_evaluator()
+        BatchEngine(ev, workers=4, use_pool=False).evaluate_batch(
+            distinct_points(ev, 9)
+        )
+        clocks = [r.clock for r in ev.records]
+        assert clocks == sorted(clocks)
+        assert ev.clock >= clocks[-1]
+
+    def test_duplicate_points_measured_once(self):
+        ev = gemm_evaluator()
+        engine = BatchEngine(ev, workers=4, use_pool=False)
+        point = distinct_points(ev, 1)[0]
+        values = engine.evaluate_batch([point, point, point])
+        assert ev.num_measurements == 1
+        assert len(set(values)) == 1
+        assert engine.num_deduped == 2
+
+    def test_quarantined_point_served_free_in_batch(self):
+        ev = gemm_evaluator(
+            fault_injector=FaultInjector(transient_error_rate=1.0),
+            measure_config=MeasureConfig(max_retries=0, quarantine_threshold=1),
+        )
+        point = distinct_points(ev, 1)[0]
+        ev.evaluate(point)                    # fails once -> quarantined
+        assert point in ev.quarantine
+        engine = BatchEngine(ev, workers=4, use_pool=False)
+        clock = ev.clock
+        values = engine.evaluate_batch([point])
+        assert values == [0.0]
+        assert ev.clock == clock              # no charge, no measurement
+        assert ev.num_quarantine_hits == 1
+
+    def test_retry_billing_matches_serial_accounting(self):
+        # One all-transient point: the parallel path must charge exactly
+        # the serial retry arithmetic (compile cost + exponential backoff
+        # per retry, charge-capped final attempt).
+        def make():
+            return gemm_evaluator(
+                fault_injector=FaultInjector(transient_error_rate=1.0),
+                measure_config=MeasureConfig(
+                    max_retries=2, backoff_seconds=0.1, quarantine_threshold=99
+                ),
+            )
+
+        point = distinct_points(make(), 1)[0]
+        ev_serial = make()
+        ev_serial.measure(point)
+        ev_parallel = make()
+        BatchEngine(ev_parallel, workers=4, use_pool=False).evaluate_batch([point])
+        assert ev_parallel.clock == pytest.approx(ev_serial.clock)
+        assert ev_parallel.records[-1].attempts == ev_serial.records[-1].attempts
+
+    @pytest.mark.parametrize("tuner_cls", ALL_TUNERS)
+    def test_parallel_tuners_complete_and_find(self, tuner_cls):
+        ev = smoke_evaluator()
+        engine = BatchEngine(ev, workers=4, use_pool=False)
+        result = tuner_cls(ev, seed=0, engine=engine).tune(6, num_seeds=3)
+        assert result.found
+        assert result.num_measurements == sum(result.status_counts.values())
+        assert len(result.curve) == result.num_measurements
+        assert result.throughput["workers"] == 4
+        assert result.throughput["points_submitted"] > 0
+
+    def test_parallel_resume_is_cache_consistent(self, tmp_path):
+        def run(checkpoint=None, resume=False, trials=6):
+            ev = smoke_evaluator(
+                fault_injector=FaultInjector(transient_error_rate=0.2, seed=3)
+            )
+            engine = BatchEngine(ev, workers=4, use_pool=False)
+            tuner = FlexTensorTuner(ev, seed=1, engine=engine)
+            return tuner.tune(
+                trials, num_seeds=3, checkpoint=checkpoint, resume=resume
+            )
+
+        full = run()
+        path = tmp_path / "par.ckpt"
+        run(checkpoint=path, trials=3)
+        resumed = run(checkpoint=path, resume=True)
+        # Parallel resume restores the exact mid-run state, so the
+        # completed run is identical to the uninterrupted one — in
+        # particular no measurement is billed twice.
+        assert resumed.curve == full.curve
+        assert resumed.status_counts == full.status_counts
+        assert resumed.exploration_seconds == full.exploration_seconds
+
+    def test_pool_disabled_on_workers_one(self):
+        engine = BatchEngine(gemm_evaluator(), workers=1, use_pool=True)
+        assert not engine.use_pool
+
+
+@pytest.mark.slow
+class TestRealPool:
+    def test_fork_pool_matches_in_process(self):
+        points = distinct_points(gemm_evaluator(), 8)
+        ev_inproc = gemm_evaluator()
+        expected = BatchEngine(ev_inproc, workers=2, use_pool=False).evaluate_batch(points)
+        ev_pool = gemm_evaluator()
+        with BatchEngine(ev_pool, workers=2, use_pool=True) as engine:
+            got = engine.evaluate_batch(points)
+        assert got == expected
+        assert ev_pool.clock == ev_inproc.clock
+        assert [r.to_dict() for r in ev_pool.records] == [
+            r.to_dict() for r in ev_inproc.records
+        ]
+
+    def test_fork_pool_with_fault_injection(self):
+        def make():
+            return gemm_evaluator(
+                fault_injector=FaultInjector(
+                    transient_error_rate=0.4, jitter=0.1, seed=9
+                )
+            )
+
+        points = distinct_points(make(), 6)
+        ev_a, ev_b = make(), make()
+        with BatchEngine(ev_a, workers=2, use_pool=True) as engine:
+            pooled = engine.evaluate_batch(points)
+        inproc = BatchEngine(ev_b, workers=2, use_pool=False).evaluate_batch(points)
+        assert pooled == inproc
+        assert ev_a.status_counts == ev_b.status_counts
