@@ -8,8 +8,11 @@ Examples::
     python -m repro conv2d --device VU9P --size 14 --save tuned.json
     python -m repro conv2d --trials 200 --checkpoint run.ckpt --resume
     python -m repro gemm --workers 4 --cache-dir ~/.repro-cache
+    python -m repro gemm --lint --prune-space
+    python -m repro lint --device V100 --sample 400
     python -m repro selfcheck --faults
     python -m repro selfcheck --parallel
+    python -m repro selfcheck --lint
 """
 
 from __future__ import annotations
@@ -31,7 +34,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="FlexTensor reproduction: tune a tensor operator for a "
                     "simulated device.",
     )
-    parser.add_argument("operator", choices=["conv2d", "gemm", "gemv", "selfcheck"])
+    parser.add_argument("operator",
+                        choices=["conv2d", "gemm", "gemv", "lint", "selfcheck"])
     parser.add_argument("--device", default="V100", choices=sorted(DEVICES))
     parser.add_argument("--trials", type=int, default=40)
     parser.add_argument("--seed", type=int, default=0)
@@ -56,6 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--parallel", action="store_true",
                         help="selfcheck only: run the smoke tuners through "
                              "the 4-worker batched engine")
+    parser.add_argument("--lint", action="store_true",
+                        help="tune: statically reject illegal points at zero "
+                             "measurement cost; selfcheck: run the linter "
+                             "soundness smoke plus ruff/mypy when installed")
+    parser.add_argument("--prune-space", action="store_true",
+                        help="drop knob values that alone violate a device "
+                             "limit before tuning starts")
+    parser.add_argument("--sample", type=int, default=400,
+                        help="lint only: random points sampled per schedule "
+                             "space")
+    parser.add_argument("--lint-records", action="store_true",
+                        help="lint only: print every diagnostic, not just "
+                             "the per-rule summary")
     # conv2d shape
     parser.add_argument("--batch", type=int, default=1)
     parser.add_argument("--in-channel", type=int, default=256)
@@ -82,6 +99,113 @@ def build_operator(args):
     if args.operator == "gemm":
         return gemm_compute(args.n, args.k, args.m)
     return gemv_compute(args.n, args.k)
+
+
+def lint_command(args) -> int:
+    """Lint random samples of the gemm and conv2d schedule spaces for the
+    chosen device and print per-rule diagnostic counts (see docs/lint.md)."""
+    import numpy as np
+
+    from .analysis import RULES, ScheduleLinter
+    from .model import target_of
+    from .space import build_space
+
+    device = DEVICES[args.device]
+    target = target_of(device)
+    padding = args.padding if args.padding is not None else args.kernel // 2
+    workloads = [
+        ("gemm", gemm_compute(args.n, args.k, args.m)),
+        ("conv2d", conv2d_compute(
+            args.batch, args.in_channel, args.size, args.size,
+            args.out_channel, args.kernel, stride=args.stride, padding=padding,
+        )),
+    ]
+    rng = np.random.default_rng(args.seed)
+    total_illegal = 0
+    for name, output in workloads:
+        space = build_space(output, target)
+        linter = ScheduleLinter(space.op, target, device)
+        sample = min(args.sample, space.size)
+        counts: dict = {}
+        illegal = warned = 0
+        for _ in range(sample):
+            point = space.random_point(rng)
+            diagnostics = linter.lint(space.decode(point))
+            if any(d.severity == "error" for d in diagnostics):
+                illegal += 1
+            elif diagnostics:
+                warned += 1
+            for d in diagnostics:
+                counts[d.rule] = counts.get(d.rule, 0) + 1
+                if args.lint_records:
+                    print(f"  {name} point {point}: {d}")
+        total_illegal += illegal
+        print(f"{name}: space={space.size} sampled={sample} "
+              f"illegal={illegal} warned={warned} clean={sample - illegal - warned}")
+        for rule in sorted(counts):
+            rule_name, severity, _ = RULES[rule]
+            print(f"  {rule} {rule_name:<20} {severity:<5} x{counts[rule]}")
+    print(f"\n{total_illegal} statically illegal points found "
+          f"(rejected at zero cost when tuning with --lint)")
+    return 0
+
+
+def lint_smoke(args) -> int:
+    """``selfcheck --lint``: prove the linter sound against the model on
+    smoke workloads, then run ruff/mypy if (and only if) they are installed."""
+    import shutil
+    import subprocess
+
+    import numpy as np
+
+    from .analysis import ScheduleLinter
+    from .model import INVALID_TIME, model_for, target_of
+    from .schedule import lower
+    from .space import build_space
+
+    device = DEVICES[args.device]
+    target = target_of(device)
+    model = model_for(device)
+    # Shapes big enough that some sampled points genuinely bust device
+    # budgets — a smoke with zero rejections would prove nothing.
+    workloads = [
+        ("gemm", gemm_compute(256, 256, 256)),
+        ("conv2d", conv2d_compute(1, 32, 16, 16, 64, 3, padding=1, name="smoke")),
+    ]
+    rng = np.random.default_rng(args.seed)
+    unsound = 0
+    for name, output in workloads:
+        space = build_space(output, target)
+        linter = ScheduleLinter(space.op, target, device)
+        rejected = 0
+        for _ in range(200):
+            config = space.decode(space.random_point(rng))
+            if not linter.errors(config):
+                continue
+            rejected += 1
+            try:
+                seconds = model.estimate_seconds(lower(output, config, target))
+            except Exception:
+                continue  # lowering failure: the rejection is justified
+            if seconds < INVALID_TIME:
+                unsound += 1
+        verdict = "ok" if unsound == 0 else f"UNSOUND x{unsound}"
+        print(f"{name:>13}: {verdict}  ({rejected}/200 sampled points rejected)")
+
+    for tool, cmd in (
+        ("ruff", ["ruff", "check", "src/repro/analysis", "src/repro/schedule"]),
+        ("mypy", ["mypy", "src/repro/analysis", "src/repro/schedule"]),
+    ):
+        if shutil.which(tool) is None:
+            print(f"{tool:>13}: skipped (not installed)")
+            continue
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        print(f"{tool:>13}: " + ("ok" if proc.returncode == 0 else "FAILED"))
+        if proc.returncode != 0:
+            print(proc.stdout or proc.stderr)
+            return 1
+    print("lint selfcheck " + ("passed" if unsound == 0 else "FAILED"))
+    return 1 if unsound else 0
 
 
 def selfcheck(args) -> int:
@@ -128,7 +252,11 @@ def selfcheck(args) -> int:
 def main(argv=None) -> int:
     """CLI entry point: tune, print, optionally save the schedule."""
     args = build_parser().parse_args(argv)
+    if args.operator == "lint":
+        return lint_command(args)
     if args.operator == "selfcheck":
+        if args.lint:
+            return lint_smoke(args)
         return selfcheck(args)
     output = build_operator(args)
     device = DEVICES[args.device]
@@ -136,6 +264,7 @@ def main(argv=None) -> int:
         output, device, trials=args.trials, method=args.method, seed=args.seed,
         checkpoint=args.checkpoint, resume=args.resume,
         workers=args.workers, cache_dir=args.cache_dir,
+        lint=args.lint, prune_space=args.prune_space,
     )
     print(result.summary())
     throughput = result.tuning.throughput

@@ -1,13 +1,25 @@
-"""Front-end static analysis (§4.1)."""
+"""Front-end static analysis (§4.1) and the static schedule linter."""
 
 from .info import AnalysisResult, StatisticalInfo, StructuralInfo
+from .lint import (
+    RULES,
+    Diagnostic,
+    ScheduleLinter,
+    lint_config,
+    lint_point,
+)
 from .static_analyzer import analyze, arithmetic_intensity, operation_flops
 
 __all__ = [
     "AnalysisResult",
+    "Diagnostic",
+    "RULES",
+    "ScheduleLinter",
     "StatisticalInfo",
     "StructuralInfo",
     "analyze",
     "arithmetic_intensity",
+    "lint_config",
+    "lint_point",
     "operation_flops",
 ]

@@ -46,6 +46,8 @@ class TuneResult:
     curve: List[Tuple[float, float]] = field(default_factory=list)
     status_counts: Dict[str, int] = field(default_factory=dict)
     throughput: Optional[Dict] = None   # BatchEngine.stats() when one ran
+    lint_rejects: int = 0               # points statically rejected (zero cost)
+    lint_rules: Dict[str, int] = field(default_factory=dict)  # rule -> fire count
 
     @property
     def found(self) -> bool:
@@ -53,9 +55,13 @@ class TuneResult:
 
     @property
     def num_failures(self) -> int:
-        """Measurements that did not produce a clean performance value."""
+        """Measurements that did not produce a clean performance value.
+
+        Statically-rejected points are excluded: they never reached the
+        measurement pipeline (see :attr:`lint_rejects`).
+        """
         ok = self.status_counts.get("ok", 0) + self.status_counts.get("flaky_retried", 0)
-        return sum(self.status_counts.values()) - ok
+        return sum(self.status_counts.values()) - ok - self.status_counts.get("illegal", 0)
 
 
 class BaseTuner:
@@ -144,6 +150,8 @@ class BaseTuner:
             exploration_seconds=self.evaluator.clock,
             curve=self.evaluator.convergence_curve(),
             status_counts=dict(self.evaluator.status_counts),
+            lint_rejects=self.evaluator.num_lint_rejects,
+            lint_rules=dict(self.evaluator.lint_rule_counts),
         )
 
     # -- the tuning loop ---------------------------------------------------

@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import Dict
 
+from ..analysis.lint import cpu_parallel_chunks
 from ..codegen import access_stride, flops_of, tensor_reads, tile_footprint
 from ..schedule import (
     REORDER_INTERLEAVED,
@@ -54,10 +55,9 @@ class CpuModel(PerformanceModel):
         config = scheduled.config
         op = scheduled.op
 
-        # Parallelism: chunks of the fused outer loop over physical cores.
-        chunks = 1
-        for factors in config.spatial_factors[: config.fuse_levels]:
-            chunks *= factors[0]
+        # Parallelism: chunks of the fused outer loop over physical cores
+        # (shared with the linter's CPU002 starvation rule).
+        chunks = cpu_parallel_chunks(config)
         rounds = math.ceil(chunks / spec.num_cores)
         effective_cores = chunks / rounds  # average active cores per round
 

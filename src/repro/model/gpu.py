@@ -20,8 +20,13 @@ move real kernels:
 from __future__ import annotations
 
 import math
-from typing import Dict
 
+from ..analysis.lint import (
+    gpu_active_blocks,
+    gpu_block_tile,
+    gpu_register_estimate,
+    gpu_smem_bytes,
+)
 from ..codegen import coalescing_efficiency, flops_of, tensor_reads, tile_footprint
 from ..schedule import (
     REORDER_INTERLEAVED,
@@ -87,33 +92,21 @@ class GpuModel(PerformanceModel):
         reduce_outer_trips = reduce_total // max(reduce_inner, 1)
 
         # Shared memory: the block's input tiles for one reduce-outer step.
-        smem_bytes = 0
-        block_tile: Dict = {}
-        for axis, factors in zip(op.axes, config.spatial_factors):
-            block_tile[axis] = factors[1] * factors[2] * factors[3]
-        for axis, factors in zip(op.reduce_axes, config.reduce_factors):
-            block_tile[axis] = factors[1]
-        if scheduled.cached_tensors:
-            for tensor in scheduled.cached_tensors:
-                smem_bytes += tile_footprint(op, tensor, block_tile) * _DTYPE_BYTES
-            if smem_bytes > spec.shared_mem_per_block:
-                return INVALID_TIME
+        # Static legality (footprints, register pressure, occupancy) comes
+        # from repro.analysis.lint so the linter and this model can never
+        # disagree on what is rejected.
+        block_tile = gpu_block_tile(op, config)
+        smem_bytes = gpu_smem_bytes(op, config, scheduled.cached_tensors)
+        if scheduled.cached_tensors and smem_bytes > spec.shared_mem_per_block:
+            return INVALID_TIME
 
-        registers = 24 + acc_tile + sum(f[3] for f in config.spatial_factors)
+        registers = gpu_register_estimate(config)
         spill_penalty = 1.0
         if registers > spec.max_registers_per_thread:
             spill_penalty = registers / spec.max_registers_per_thread
-            registers = spec.max_registers_per_thread
 
-        # Occupancy.
-        blocks_by_threads = spec.max_threads_per_sm // max(threads_per_block, 1)
-        blocks_by_smem = (
-            spec.shared_mem_per_sm // smem_bytes if smem_bytes else spec.max_blocks_per_sm
-        )
-        blocks_by_regs = spec.registers_per_sm // max(registers * threads_per_block, 1)
-        active_blocks = min(
-            blocks_by_threads, blocks_by_smem, blocks_by_regs, spec.max_blocks_per_sm
-        )
+        # Occupancy (the register cap is applied inside gpu_active_blocks).
+        active_blocks = gpu_active_blocks(spec, threads_per_block, smem_bytes, registers)
         if active_blocks == 0:
             return INVALID_TIME
         occupancy = active_blocks * threads_per_block / spec.max_threads_per_sm

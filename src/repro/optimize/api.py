@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..analysis import AnalysisResult, analyze
+from ..analysis import AnalysisResult, ScheduleLinter, analyze
 from ..codegen import emit_pseudo, emit_python
 from ..explore import (
     FlexTensorTuner,
@@ -75,11 +75,20 @@ class OptimizeResult:
             f"measurements: {self.tuning.num_measurements}, "
             f"simulated exploration: {self.tuning.exploration_seconds:.0f} s",
         ]
+        if self.tuning.lint_rejects:
+            rules = ", ".join(
+                f"{rule}={count}"
+                for rule, count in sorted(self.tuning.lint_rules.items())
+            )
+            lines.append(
+                f"lint: {self.tuning.lint_rejects} points statically rejected "
+                f"at zero cost ({rules})"
+            )
         if self.tuning.num_failures:
             counts = ", ".join(
                 f"{status}={count}"
                 for status, count in sorted(self.tuning.status_counts.items())
-                if status not in ("ok", "flaky_retried")
+                if status not in ("ok", "flaky_retried", "illegal")
             )
             lines.append(f"failed measurements: {self.tuning.num_failures} ({counts})")
         if self.schedule is not None:
@@ -150,6 +159,8 @@ def optimize(
     resume: bool = False,
     workers: int = 1,
     cache_dir=None,
+    lint: bool = False,
+    prune_space: bool = False,
 ) -> OptimizeResult:
     """Optimize one tensor computation for one device (Algorithm 1).
 
@@ -183,20 +194,32 @@ def optimize(
         cache_dir: directory of a persistent cross-run evaluation cache;
             warm runs serve previously measured (canonical) points for
             free.  ``None`` (default) disables persistence.
+        lint: run the static schedule linter (``repro.analysis.lint``)
+            on every candidate before measuring; statically-illegal
+            points are rejected at zero simulated cost with
+            ``MeasureStatus.ILLEGAL``.  Off by default so existing seeded
+            trajectories (clock values, measurement counts) stay
+            bit-identical; the best point found is the same either way.
+        prune_space: shrink split-knob choices that are unconditionally
+            illegal on this device (one axis alone busting a budget)
+            before exploring — ``docs/lint.md``.
     """
     graph = output if isinstance(output, MiniGraph) else get_graph(output)
     # Front-end: static analysis + schedule space (pruned + rearranged).
     analysis = analyze(graph)
     target = target_of(device_spec)
-    space = space or build_space(graph, target)
+    space = space or build_space(
+        graph, target, spec=device_spec if prune_space else None
+    )
     graph_config = graph_config or GraphConfig()
 
     # Back-end: exploration over the space.
+    linter = ScheduleLinter(space.op, target, device_spec) if lint else None
     eval_cache = EvalCache(cache_dir) if cache_dir else None
     evaluator = Evaluator(
         graph, device_spec, space=space, graph_config=graph_config,
         measure_config=measure_config, fault_injector=fault_injector,
-        eval_cache=eval_cache,
+        eval_cache=eval_cache, linter=linter,
     )
     try:
         tuner_cls = _TUNERS[method]

@@ -20,7 +20,10 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from ..analysis.lint import ScheduleLinter
 
 from ..codegen import flops_of
 from ..graph import MiniGraph, get_graph
@@ -51,6 +54,7 @@ class MeasureStatus(enum.Enum):
     RUN_TIMEOUT = "run_timeout"        # kernel exceeded the timeout budget
     RUNTIME_ERROR = "runtime_error"    # transient device error, retries exhausted
     FLAKY_RETRIED = "flaky_retried"    # succeeded after >=1 transient failure
+    ILLEGAL = "illegal"                # statically rejected by the linter
 
     @property
     def ok(self) -> bool:
@@ -65,6 +69,7 @@ class MeasureStatus(enum.Enum):
             MeasureStatus.LOWER_ERROR,
             MeasureStatus.COMPILE_ERROR,
             MeasureStatus.RUN_TIMEOUT,
+            MeasureStatus.ILLEGAL,
         )
 
 
@@ -147,6 +152,7 @@ class Evaluator:
         fault_injector: Optional[FaultInjector] = None,
         eval_cache: Optional[EvalCache] = None,
         canonicalize: bool = True,
+        linter: Optional["ScheduleLinter"] = None,
     ):
         self.graph: MiniGraph = output if isinstance(output, MiniGraph) else get_graph(output)
         self.device_spec = device_spec
@@ -183,6 +189,12 @@ class Evaluator:
         self.num_canon_hits = 0
         self.num_disk_hits = 0
         self._op_signature: Optional[str] = None
+        # Static linting (ISSUE #3): with a linter attached, points whose
+        # error-severity rules fire are rejected before any measurement —
+        # zero simulated cost, MeasureStatus.ILLEGAL, per-rule histogram.
+        self.linter = linter
+        self.num_lint_rejects = 0
+        self.lint_rule_counts: Dict[str, int] = {}
 
     # -- evaluation --------------------------------------------------------
 
@@ -212,12 +224,55 @@ class Evaluator:
         if point in self._quarantined:
             self.num_quarantine_hits += 1
             return 0.0
+        rejected = self.lint_reject(point)
+        if rejected is not None:
+            return rejected
         if self.eval_cache is not None:
             performance = self._disk_lookup(point)
             if performance is not None:
                 return performance
         result = self.measure(point)
         return result.performance
+
+    def lint_reject(self, point: Point) -> Optional[float]:
+        """Statically reject a point, or None if it passes (or no linter).
+
+        A rejection is billed at **zero simulated cost**: the clock does
+        not advance and ``num_measurements`` stays put — the whole point
+        of linting is that legality is decidable without paying for a
+        measurement.  The point is still cached at performance 0 (with a
+        :attr:`MeasureStatus.ILLEGAL` record carrying the diagnostics),
+        so tuners, quarantine-style accounting and the persistent cache
+        see it exactly like any other permanently failed point.
+        """
+        if self.linter is None or point in self.cache:
+            return None
+        config = self.space.decode(point)
+        diagnostics = self.linter.errors(config)
+        if not diagnostics:
+            return None
+        self.num_lint_rejects += 1
+        for diagnostic in diagnostics:
+            self.lint_rule_counts[diagnostic.rule] = (
+                self.lint_rule_counts.get(diagnostic.rule, 0) + 1
+            )
+        performance = 0.0
+        self.cache[point] = performance
+        canon = self.canonical_key(point)
+        self._canon_index.setdefault(canon, point)
+        if self.eval_cache is not None:
+            self.eval_cache.put(
+                self.op_signature(), canon, performance, MeasureStatus.ILLEGAL.value
+            )
+        status = MeasureStatus.ILLEGAL
+        self.status_counts[status.value] = self.status_counts.get(status.value, 0) + 1
+        result = MeasureResult(
+            point, performance, INVALID_TIME, self.clock, self.num_measurements,
+            status=status, attempts=0,
+            error="; ".join(str(d) for d in diagnostics),
+        )
+        self.records.append(result)
+        return performance
 
     def lookup(self, point: Point) -> Optional[float]:
         """Free-of-charge cache probe, or None if the point needs measuring.
@@ -540,6 +595,8 @@ class Evaluator:
             "num_memo_hits": self.num_memo_hits,
             "num_canon_hits": self.num_canon_hits,
             "num_disk_hits": self.num_disk_hits,
+            "num_lint_rejects": self.num_lint_rejects,
+            "lint_rule_counts": dict(self.lint_rule_counts),
         }
 
     def set_state(self, state: Dict) -> None:
@@ -557,6 +614,8 @@ class Evaluator:
         self.num_memo_hits = state.get("num_memo_hits", 0)
         self.num_canon_hits = state.get("num_canon_hits", 0)
         self.num_disk_hits = state.get("num_disk_hits", 0)
+        self.num_lint_rejects = state.get("num_lint_rejects", 0)
+        self.lint_rule_counts = dict(state.get("lint_rule_counts", {}))
         # Rebuild the canonical index from the memo in insertion order so
         # each class maps to the same first-measured representative an
         # uninterrupted run would have chosen.

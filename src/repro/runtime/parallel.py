@@ -83,6 +83,7 @@ class BatchEngine:
         self.num_measured = 0
         self.num_cached = 0
         self.num_deduped = 0
+        self.num_lint_rejected = 0
         self.busy_seconds = 0.0    # simulated seconds of worker occupancy
         self.span_seconds = 0.0    # simulated makespan summed over batches
         self.wall_seconds = 0.0    # real time spent inside evaluate_batch
@@ -139,9 +140,13 @@ class BatchEngine:
         ev = self.evaluator
         clock_before = ev.clock
         measured_before = ev.num_measurements
+        lint_before = ev.num_lint_rejects
         results = [ev.evaluate(p) for p in points]
-        self.num_measured += ev.num_measurements - measured_before
-        self.num_cached += len(points) - (ev.num_measurements - measured_before)
+        measured = ev.num_measurements - measured_before
+        lint_rejected = ev.num_lint_rejects - lint_before
+        self.num_measured += measured
+        self.num_lint_rejected += lint_rejected
+        self.num_cached += len(points) - measured - lint_rejected
         self.span_seconds += ev.clock - clock_before
         self.busy_seconds += ev.clock - clock_before
         return results
@@ -149,13 +154,20 @@ class BatchEngine:
     def _evaluate_parallel(self, points: Sequence[Point]) -> List[float]:
         ev = self.evaluator
         results: List[Optional[float]] = [None] * len(points)
-        # 1. Serve cache/quarantine hits for free; dedup the rest by
+        # 1. Lint first (a statically-illegal point must never reach the
+        #    pool — it is rejected at zero simulated cost), then serve
+        #    cache/quarantine hits for free, then dedup the rest by
         #    canonical key so one measurement covers every equivalent
         #    submission in the batch.
         jobs: List[Tuple[Point, int, List[int]]] = []
         job_by_key: Dict[Point, int] = {}
         for i, point in enumerate(points):
             point = tuple(point)
+            rejected = ev.lint_reject(point)
+            if rejected is not None:
+                results[i] = rejected
+                self.num_lint_rejected += 1
+                continue
             cached = ev.lookup(point)
             if cached is not None:
                 results[i] = cached
@@ -230,6 +242,9 @@ class BatchEngine:
             "points_measured": self.num_measured,
             "points_cached": self.num_cached,
             "points_deduped": self.num_deduped,
+            "points_lint_rejected": self.num_lint_rejected,
+            "lint_rejects": ev.num_lint_rejects,
+            "lint_rules": dict(ev.lint_rule_counts),
             "simulated_seconds": simulated,
             "wall_seconds": self.wall_seconds,
             "points_per_simulated_second": (
@@ -266,6 +281,14 @@ class BatchEngine:
             f"disk={s['disk_hits']} quarantine={s['quarantine_hits']}) "
             f"deduped={s['points_deduped']}",
         ]
+        if s["lint_rejects"]:
+            rules = " ".join(
+                f"{rule}={count}" for rule, count in sorted(s["lint_rules"].items())
+            )
+            lines.append(
+                f"lint: {s['lint_rejects']} points statically rejected "
+                f"at zero cost ({rules})"
+            )
         if "eval_cache" in s:
             ec = s["eval_cache"]
             lines.append(

@@ -10,7 +10,7 @@ nodes to inline) produced by ``Schedule_for_graph`` in Algorithm 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 #: Reorder choices for the innermost tile (which loops end up innermost).
 REORDER_REDUCE_INNER = 0   # ... spatial tile, then reduce-inner innermost

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..ir import ComputeOp, Expr, IterVar, Var, wrap
+from ..ir import ComputeOp, Expr, IterVar, Var
 
 # Loop annotations (how a loop is realized on the target).
 SERIAL = "serial"
@@ -176,7 +176,7 @@ def fuse_loops(loops: Sequence[LoopDef], name: str) -> Tuple[LoopDef, Dict[Var, 
 
 def substitute_vars(expr: Expr, mapping: Dict[Var, Expr]) -> Expr:
     """Replace loop variables in ``expr`` according to ``mapping``."""
-    from ..ir import Add, BinaryOp, FloorDiv, Max, Min, Mod, Mul, Sub
+    from ..ir import BinaryOp
 
     if isinstance(expr, Var) and expr in mapping:
         return mapping[expr]

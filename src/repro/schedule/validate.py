@@ -2,17 +2,50 @@
 
 Used by tests and available as a debugging aid when developing new
 lowering paths: :func:`validate_schedule` checks structural invariants
-and, for small iteration spaces, *proves* the index reconstruction is a
-bijection by enumeration — the property that makes every schedule
-semantics-preserving.
+and *proves* that the index reconstruction is a bijection — the property
+that makes every schedule semantics-preserving.
+
+The proof is symbolic, so it works on iteration spaces of any size
+(the paper's GPU spaces run to 10^12 points; the old enumeration check
+simply gave up past 200k).  Every index expression our lowering builds is
+a **mixed-radix recomposition** of digit atoms::
+
+    axis = d_1 + d_2*r_1 + d_3*r_1*r_2 + ...     (split: (f0*e1 + f1)*e2 ...)
+    d    = V | V % m | V // q | (V // q) % m     (fuse recovery digits)
+
+so bijectivity decomposes into three checkable chain conditions:
+
+1. **Per-variable digit partition** — the atoms mentioning one loop
+   variable ``V`` (extent ``E``), sorted by divisor, must tile it
+   exactly: divisors ``q_1=1, q_{i+1} = q_i * r_i`` and ``q_k * r_k = E``
+   (``r_i`` the atom's value range).  Then ``V -> (d_1..d_k)`` is the
+   standard mixed-radix digit decomposition — a bijection from ``[0,E)``
+   onto the digit box.
+2. **Per-axis stride chain** — an axis expression ``sum(c_i * d_i)``
+   (zero offset), sorted by coefficient, must satisfy ``c_1 = 1``,
+   ``c_{i+1} = c_i * r_i`` and ``c_k * r_k = extent``: the mixed-radix
+   *recomposition*, a bijection from the digit box onto ``[0, extent)``.
+3. **Exactly-once consumption** — every digit atom appears in exactly
+   one axis chain, and every variable's digits are all consumed.
+
+Together: loop space -> digit space is a bijection (1, applied per
+variable), digit space -> iteration space is a bijection (2, applied per
+axis over disjoint digit sets by 3), and the composition is the index
+map — hence a bijection.  Extent-1 loops and range-1 atoms carry no
+information (their value is constantly 0) and are dropped on both sides.
+
+Expressions outside this fragment (hand-corrupted maps, exotic future
+lowerings) fall back to the old exhaustive enumeration when the space is
+small enough to walk; a symbolic *disproof* on a space too large to
+enumerate is reported as a validation error directly.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import List
+from typing import Dict, List, Tuple
 
-from ..ir import evaluate
+from ..ir import Add, Expr, FloorDiv, IntImm, Mod, Mul, Var, evaluate
 from .loopnest import Scheduled
 
 
@@ -20,34 +53,140 @@ class ScheduleValidationError(AssertionError):
     """A lowered schedule violates a well-formedness invariant."""
 
 
-def validate_schedule(scheduled: Scheduled, max_enumeration: int = 200_000) -> None:
-    """Raise :class:`ScheduleValidationError` on any violated invariant.
+class _ParseFailure(Exception):
+    """An index expression lies outside the linear mixed-radix fragment."""
 
-    Checks:
 
-    1. the loop-extent product equals the op's iteration-space size;
-    2. every original axis has an index expression over the loop vars;
-    3. (if the space is small enough) walking all loops reconstructs every
-       original iteration point exactly once — split/fuse/reorder compose
-       to a bijection.
+#: A digit atom in canonical form: (loop var, divisor, value range) —
+#: the value ``(var // divisor) % range`` (modulus folded into the range).
+_Atom = Tuple[Var, int, int]
+
+
+def _atom(expr: Expr, extents: Dict[Var, int]) -> _Atom:
+    """Canonicalize ``V``, ``V % m``, ``V // q`` or ``(V // q) % m``.
+
+    Raises :class:`_ParseFailure` when ``expr`` has none of these shapes
+    or its constants do not divide cleanly (nothing our lowering emits).
     """
+    divisor, modulus = 1, None
+    base = expr
+    if isinstance(base, Mod) and isinstance(base.b, IntImm):
+        modulus = base.b.value
+        base = base.a
+    if isinstance(base, FloorDiv) and isinstance(base.b, IntImm):
+        divisor = base.b.value
+        base = base.a
+    if not isinstance(base, Var):
+        raise _ParseFailure(f"not a digit atom: {expr!r}")
+    extent = extents.get(base)
+    if extent is None:
+        raise _ParseFailure(f"unknown loop variable {base.name}")
+    if divisor <= 0 or extent % divisor:
+        raise _ParseFailure(f"divisor {divisor} does not divide extent {extent}")
+    base_range = extent // divisor
+    if modulus is None or modulus >= base_range:
+        # the modulus (if any) is a no-op on the quotient's range
+        return (base, divisor, base_range)
+    if modulus <= 0 or base_range % modulus:
+        raise _ParseFailure(f"modulus {modulus} does not divide range {base_range}")
+    return (base, divisor, modulus)
+
+
+def _linearize(expr: Expr, extents: Dict[Var, int]) -> Tuple[int, Dict[_Atom, int]]:
+    """Flatten ``expr`` to ``const + sum(coeff * atom)`` (atoms merged)."""
+    const = 0
+    terms: Dict[_Atom, int] = {}
+
+    def walk(node: Expr, scale: int) -> None:
+        nonlocal const
+        if isinstance(node, IntImm):
+            const += scale * node.value
+            return
+        if isinstance(node, Add):
+            walk(node.a, scale)
+            walk(node.b, scale)
+            return
+        if isinstance(node, Mul):
+            if isinstance(node.b, IntImm):
+                walk(node.a, scale * node.b.value)
+                return
+            if isinstance(node.a, IntImm):
+                walk(node.b, scale * node.a.value)
+                return
+        atom = _atom(node, extents)
+        terms[atom] = terms.get(atom, 0) + scale
+
+    walk(expr, 1)
+    return const, terms
+
+
+def _validate_symbolic(scheduled: Scheduled) -> None:
+    """The divisibility/stride bijection proof described in the module
+    docstring.  Raises :class:`ScheduleValidationError` on a disproof and
+    :class:`_ParseFailure` when an expression is outside the fragment."""
     op = scheduled.op
-    iteration_space = 1
+    extents = {loop.var: loop.extent for loop in scheduled.loops}
+    usage: Dict[_Atom, int] = {}
+    digits_by_var: Dict[Var, List[_Atom]] = {}
+
     for axis in op.all_axes:
-        iteration_space *= axis.extent
-    loop_product = scheduled.iteration_count
-    if loop_product != iteration_space:
-        raise ScheduleValidationError(
-            f"loop nest iterates {loop_product} points, op has {iteration_space}"
+        const, terms = _linearize(scheduled.index_map[axis], extents)
+        if const != 0:
+            raise ScheduleValidationError(
+                f"axis {axis.name} reconstructs with a nonzero offset {const}"
+            )
+        live = sorted(
+            ((coeff, atom) for atom, coeff in terms.items() if atom[2] > 1 and coeff),
+            key=lambda t: t[0],
         )
+        stride = 1
+        for coeff, atom in live:
+            if coeff != stride:
+                raise ScheduleValidationError(
+                    f"axis {axis.name}: digit stride chain broken — expected "
+                    f"coefficient {stride}, found {coeff}"
+                )
+            stride *= atom[2]
+        if stride != axis.extent:
+            raise ScheduleValidationError(
+                f"axis {axis.name} reconstructs only {stride} of its "
+                f"{axis.extent} values — the schedule is not a bijection"
+            )
+        for _coeff, atom in live:
+            usage[atom] = usage.get(atom, 0) + 1
+            digits_by_var.setdefault(atom[0], []).append(atom)
 
-    missing = [a.name for a in op.all_axes if a not in scheduled.index_map]
-    if missing:
-        raise ScheduleValidationError(f"axes without index expressions: {missing}")
+    for atom, count in usage.items():
+        if count > 1:
+            var, divisor, rng = atom
+            raise ScheduleValidationError(
+                f"digit ({var.name} // {divisor}) % {rng} is consumed by "
+                f"{count} axis reconstructions — the schedule is not injective"
+            )
 
-    if iteration_space > max_enumeration:
-        return  # structural checks only; enumeration would be too slow
+    for loop in scheduled.loops:
+        if loop.extent == 1:
+            continue  # a constant-0 variable carries no information
+        chain = sorted(digits_by_var.get(loop.var, []), key=lambda a: a[1])
+        position = 1
+        for _var, divisor, rng in chain:
+            if divisor != position:
+                raise ScheduleValidationError(
+                    f"loop {loop.var.name}: digits {'overlap' if divisor < position else 'leave a gap'} "
+                    f"at divisor {divisor} (expected {position})"
+                )
+            position = divisor * rng
+        if position != loop.extent:
+            raise ScheduleValidationError(
+                f"loop {loop.var.name}: only {position} of {loop.extent} "
+                f"values are consumed — the schedule is not injective"
+            )
 
+
+def _validate_by_enumeration(scheduled: Scheduled, iteration_space: int) -> None:
+    """Ground truth for small spaces: walk all loops, check every original
+    iteration point is reconstructed exactly once."""
+    op = scheduled.op
     axes = list(op.all_axes)
     ranges = [range(loop.extent) for loop in scheduled.loops]
     loop_vars = [loop.var for loop in scheduled.loops]
@@ -74,6 +213,52 @@ def validate_schedule(scheduled: Scheduled, max_enumeration: int = 200_000) -> N
         raise ScheduleValidationError(
             f"only {len(seen)} of {iteration_space} iteration points covered"
         )
+
+
+def validate_schedule(scheduled: Scheduled, max_enumeration: int = 200_000) -> None:
+    """Raise :class:`ScheduleValidationError` on any violated invariant.
+
+    Checks:
+
+    1. the loop-extent product equals the op's iteration-space size;
+    2. every original axis has an index expression over the loop vars;
+    3. walking all loops reconstructs every original iteration point
+       exactly once — split/fuse/reorder compose to a bijection.  Proven
+       symbolically (any space size) via the mixed-radix digit argument;
+       expressions outside the symbolic fragment fall back to exhaustive
+       enumeration when the space has at most ``max_enumeration`` points.
+    """
+    op = scheduled.op
+    iteration_space = 1
+    for axis in op.all_axes:
+        iteration_space *= axis.extent
+    loop_product = scheduled.iteration_count
+    if loop_product != iteration_space:
+        raise ScheduleValidationError(
+            f"loop nest iterates {loop_product} points, op has {iteration_space}"
+        )
+
+    missing = [a.name for a in op.all_axes if a not in scheduled.index_map]
+    if missing:
+        raise ScheduleValidationError(f"axes without index expressions: {missing}")
+
+    try:
+        _validate_symbolic(scheduled)
+        return  # proven, at any scale
+    except _ParseFailure:
+        disproof = None  # unrecognized shape: the proof says nothing either way
+    except ScheduleValidationError as error:
+        disproof = error
+    if iteration_space <= max_enumeration:
+        # Enumeration is ground truth: it settles both unparsed
+        # expressions and symbolic disproofs (which, for expressions in
+        # the fragment, it always confirms).
+        _validate_by_enumeration(scheduled, iteration_space)
+        return
+    if disproof is not None:
+        raise disproof
+    # Unparseable and too large to enumerate: structural checks only
+    # (the pre-symbolic behaviour for every space this large).
 
 
 def quick_report(scheduled: Scheduled) -> List[str]:

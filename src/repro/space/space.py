@@ -251,23 +251,49 @@ class ScheduleSpace:
         )
 
 
-def build_space(output, target: str) -> ScheduleSpace:
-    """Generate the pruned schedule space for the main node of ``output``."""
+def build_space(output, target: str, spec=None) -> ScheduleSpace:
+    """Generate the pruned schedule space for the main node of ``output``.
+
+    With a device ``spec``, split-knob choices that are *unconditionally*
+    illegal on that device are dropped up front: a choice is pruned only
+    when one axis alone busts a hard budget (its thread part exceeding
+    ``max_threads_per_block`` on GPU, its PE part exceeding ``max_pes``
+    on FPGA), so every pruned point is one the error-severity lint rules
+    (``repro.analysis.lint``) would reject regardless of the other knobs.
+    Joint violations — several axes legal alone but illegal multiplied
+    together — stay in the space and are caught by the per-point linter.
+    """
     graph = output if isinstance(output, MiniGraph) else get_graph(output)
     op = graph.main_op
     if target == "gpu":
-        return _gpu_space(op)
+        return _gpu_space(op, spec)
     if target == "cpu":
         return _cpu_space(op)
     if target == "fpga":
-        return _fpga_space(op)
+        return _fpga_space(op, spec)
     raise ValueError(f"unknown target {target!r}")
 
 
-def _gpu_space(op: ComputeOp) -> ScheduleSpace:
+def _pruned_split(name: str, extent: int, parts: int, keep) -> SplitKnob:
+    """A SplitKnob restricted to choices passing ``keep`` (never empty)."""
+    knob = SplitKnob(name, extent, parts)
+    allowed = [c for c in knob.choices if keep(c)]
+    if not allowed or len(allowed) == len(knob.choices):
+        return knob
+    return SplitKnob(name, extent, parts, allowed=allowed)
+
+
+def _gpu_space(op: ComputeOp, spec=None) -> ScheduleSpace:
     knobs: List[Knob] = []
+    thread_cap = getattr(spec, "max_threads_per_block", None)
     for i, axis in enumerate(op.axes):
-        knobs.append(SplitKnob(f"sp{i}", axis.extent, GPU_SPATIAL_PARTS))
+        if thread_cap:
+            knobs.append(_pruned_split(
+                f"sp{i}", axis.extent, GPU_SPATIAL_PARTS,
+                lambda c: c[2] <= thread_cap,
+            ))
+        else:
+            knobs.append(SplitKnob(f"sp{i}", axis.extent, GPU_SPATIAL_PARTS))
     for i, axis in enumerate(op.reduce_axes):
         knobs.append(SplitKnob(f"re{i}", axis.extent, GPU_REDUCE_PARTS))
     knobs.append(ChoiceKnob("reorder", list(REORDER_CHOICES)))
@@ -290,10 +316,17 @@ def _cpu_space(op: ComputeOp) -> ScheduleSpace:
     return ScheduleSpace(op, "cpu", knobs)
 
 
-def _fpga_space(op: ComputeOp) -> ScheduleSpace:
+def _fpga_space(op: ComputeOp, spec=None) -> ScheduleSpace:
     knobs: List[Knob] = []
+    pe_cap = getattr(spec, "max_pes", None)
     for i, axis in enumerate(op.axes):
-        knobs.append(SplitKnob(f"sp{i}", axis.extent, FPGA_SPATIAL_PARTS))
+        if pe_cap:
+            knobs.append(_pruned_split(
+                f"sp{i}", axis.extent, FPGA_SPATIAL_PARTS,
+                lambda c: c[1] <= pe_cap,
+            ))
+        else:
+            knobs.append(SplitKnob(f"sp{i}", axis.extent, FPGA_SPATIAL_PARTS))
     for i, axis in enumerate(op.reduce_axes):
         knobs.append(SplitKnob(f"re{i}", axis.extent, 1))
     knobs.append(ChoiceKnob("partition", [1, 2, 4, 8, 16]))
