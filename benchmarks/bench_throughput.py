@@ -11,12 +11,20 @@ measurement-clock quantity Figures 6d/7 account in) plus points per
 wall second.  A third pass runs a cold/warm pair against a persistent
 ``EvalCache`` directory to measure the warm-start hit rate.
 
+A fourth pass benchmarks surrogate screening (ISSUE #4): the same
+workload tuned with ``--surrogate`` off and on at ``SCREEN_TRIALS``
+trials, reporting best GFLOPS against real measurements spent — the
+learned cost model should reach the same best while measuring a
+fraction of the candidates.
+
 Results land in ``BENCH_throughput.json`` at the repo root, including
 the acceptance booleans:
 
 * pooled (4 workers) achieves >= 3x points/simulated-second over
-  serial on gemm, and
-* the warm second run is served at >= 50% cache hit rate.
+  serial on gemm,
+* the warm second run is served at >= 50% cache hit rate, and
+* with screening on, gemm and conv2d reach >= the screening-off best
+  GFLOPS using <= 0.5x the real measurements.
 
 On a single-core host the engine transparently computes outcomes
 in-process while still billing the 4-worker makespan, so the simulated
@@ -41,6 +49,10 @@ from repro.optimize import optimize                       # noqa: E402
 TRIALS = 8
 SEED = 0
 POOL_WORKERS = 4
+# Screening comparison: more trials so the off-run's measurement bill is
+# the budget screening gets to cut; ratio tuned for the smoke workloads.
+SCREEN_TRIALS = 20
+SCREEN_RATIO = 0.15
 
 WORKLOADS = {
     "gemm_64x64x64": lambda: gemm_compute(64, 64, 64, name="gemm"),
@@ -50,30 +62,38 @@ WORKLOADS = {
 }
 
 
-def run_tune(make_output, workers, cache_dir=None):
+def run_tune(make_output, workers, cache_dir=None, trials=TRIALS,
+             surrogate=False, screen_ratio=0.25):
     start = time.perf_counter()
     result = optimize(
         make_output(),
         V100,
-        trials=TRIALS,
+        trials=trials,
         method="q",
         seed=SEED,
         workers=workers,
         cache_dir=cache_dir,
+        surrogate=surrogate,
+        screen_ratio=screen_ratio,
     )
     wall = time.perf_counter() - start
     stats = dict(result.tuning.throughput)
     stats["total_wall_seconds"] = wall
     stats["best_gflops"] = result.gflops
+    stats["best_performance"] = result.tuning.best_performance
+    stats["real_measurements"] = result.tuning.num_measurements
     return stats
 
 
 def trimmed(stats):
     keys = (
-        "workers", "pool", "points_submitted", "points_measured",
-        "points_cached", "points_deduped", "simulated_seconds",
-        "points_per_simulated_second", "points_per_wall_second",
-        "pool_utilization", "cache_hit_rate", "total_wall_seconds",
+        "workers", "pool", "pool_mode", "pool_batches",
+        "points_submitted", "points_measured",
+        "points_cached", "points_deduped", "points_screened",
+        "simulated_seconds", "points_per_simulated_second",
+        "points_per_wall_second", "pool_utilization", "cache_hit_rate",
+        "total_wall_seconds", "best_gflops", "real_measurements",
+        "surrogate",
     )
     return {k: stats[k] for k in keys if k in stats}
 
@@ -136,12 +156,56 @@ def main():
         f"({warm['points_measured']} re-measured)"
     )
 
+    # Surrogate screening: same trials and seed, screening off vs on —
+    # best perf against the real measurements spent to reach it.
+    payload["screening"] = {
+        "trials": SCREEN_TRIALS,
+        "screen_ratio": SCREEN_RATIO,
+        "workloads": {},
+    }
+    screening_ok = {}
+    for name, make_output in WORKLOADS.items():
+        print(f"== surrogate screening ({name}) ==")
+        off = run_tune(make_output, workers=1, trials=SCREEN_TRIALS)
+        on = run_tune(make_output, workers=1, trials=SCREEN_TRIALS,
+                      surrogate=True, screen_ratio=SCREEN_RATIO)
+        savings = (
+            off["real_measurements"] / on["real_measurements"]
+            if on["real_measurements"]
+            else 0.0
+        )
+        ok = (
+            on["best_performance"] >= off["best_performance"]
+            and on["real_measurements"] <= 0.5 * off["real_measurements"]
+        )
+        screening_ok[name] = ok
+        payload["screening"]["workloads"][name] = {
+            "off": trimmed(off),
+            "on": trimmed(on),
+            "measurement_savings": savings,
+            "best_ge_off_at_le_half_measurements": ok,
+        }
+        print(
+            f"  off: {off['best_gflops']:6.1f} GFLOPS @ "
+            f"{off['real_measurements']} measurements"
+        )
+        print(
+            f"  on : {on['best_gflops']:6.1f} GFLOPS @ "
+            f"{on['real_measurements']} measurements "
+            f"({on.get('points_screened', 0)} screened out, "
+            f"{savings:.1f}x fewer measurements)"
+        )
+
     gemm_speedup = payload["workloads"]["gemm_64x64x64"]["speedup_simulated"]
     payload["criteria"] = {
         "gemm_pooled_speedup_simulated": gemm_speedup,
         "gemm_pooled_speedup_ge_3x": gemm_speedup >= 3.0,
         "warm_hit_rate": warm["cache_hit_rate"],
         "warm_hit_rate_ge_50pct": warm["cache_hit_rate"] >= 0.5,
+        "gemm_screened_best_ge_off_at_le_half_measurements":
+            screening_ok["gemm_64x64x64"],
+        "conv2d_screened_best_ge_off_at_le_half_measurements":
+            screening_ok["conv2d_1x8x8x8_oc8_k3"],
     }
 
     out = REPO_ROOT / "BENCH_throughput.json"

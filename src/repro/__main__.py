@@ -9,10 +9,12 @@ Examples::
     python -m repro conv2d --trials 200 --checkpoint run.ckpt --resume
     python -m repro gemm --workers 4 --cache-dir ~/.repro-cache
     python -m repro gemm --lint --prune-space
+    python -m repro gemm --surrogate --screen-ratio 0.15
     python -m repro lint --device V100 --sample 400
     python -m repro selfcheck --faults
     python -m repro selfcheck --parallel
     python -m repro selfcheck --lint
+    python -m repro selfcheck --surrogate
 """
 
 from __future__ import annotations
@@ -67,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--prune-space", action="store_true",
                         help="drop knob values that alone violate a device "
                              "limit before tuning starts")
+    parser.add_argument("--surrogate", action="store_true",
+                        help="tune: screen candidates through an online "
+                             "learned cost model so only the most promising "
+                             "fraction is actually measured; selfcheck: run "
+                             "the surrogate rank-quality smoke")
+    parser.add_argument("--screen-ratio", type=float, default=0.25,
+                        help="fraction of each ranked candidate batch "
+                             "forwarded to real measurement with --surrogate")
     parser.add_argument("--sample", type=int, default=400,
                         help="lint only: random points sampled per schedule "
                              "space")
@@ -192,9 +202,13 @@ def lint_smoke(args) -> int:
         verdict = "ok" if unsound == 0 else f"UNSOUND x{unsound}"
         print(f"{name:>13}: {verdict}  ({rejected}/200 sampled points rejected)")
 
+    lint_paths = [
+        "src/repro/analysis", "src/repro/schedule",
+        "src/repro/learn", "src/repro/explore/surrogate.py",
+    ]
     for tool, cmd in (
-        ("ruff", ["ruff", "check", "src/repro/analysis", "src/repro/schedule"]),
-        ("mypy", ["mypy", "src/repro/analysis", "src/repro/schedule"]),
+        ("ruff", ["ruff", "check", *lint_paths]),
+        ("mypy", ["mypy", *lint_paths]),
     ):
         if shutil.which(tool) is None:
             print(f"{tool:>13}: skipped (not installed)")
@@ -206,6 +220,48 @@ def lint_smoke(args) -> int:
             return 1
     print("lint selfcheck " + ("passed" if unsound == 0 else "FAILED"))
     return 1 if unsound else 0
+
+
+def surrogate_smoke(args) -> int:
+    """``selfcheck --surrogate``: fit the learned cost model on sampled
+    points of the smoke workload and require positive rank correlation
+    (Spearman) on a held-out slice — proof the featurization carries
+    signal before anyone trusts it to screen a real run."""
+    import numpy as np
+
+    from .explore import SurrogateScreen, spearman
+    from .graph import get_graph
+    from .model import target_of
+    from .runtime import Evaluator
+    from .space import build_space
+
+    device = DEVICES[args.device]
+    output = conv2d_compute(1, 8, 8, 8, 16, 3, padding=1, name="smoke")
+    graph = get_graph(output)
+    space = build_space(graph, target_of(device))
+    evaluator = Evaluator(graph, device, space=space)
+    rng = np.random.default_rng(args.seed)
+    points, seen = [], set()
+    while len(points) < 80:
+        point = space.random_point(rng)
+        if point not in seen:
+            seen.add(point)
+            points.append(point)
+    labelled = [(p, evaluator.evaluate(p)) for p in points]
+    train, held_out = labelled[:60], labelled[60:]
+
+    screen = SurrogateScreen(space, min_train=len(train), seed=args.seed)
+    for point, performance in train:
+        screen.observe(point, performance)
+    predicted = screen.predict([p for p, _ in held_out])
+    actual = [performance for _, performance in held_out]
+    correlation = spearman([float(s) for s in predicted], actual)
+    ok = screen.ready and correlation > 0
+    print(f"    surrogate: trained on {len(train)} points, "
+          f"{len(held_out)} held out")
+    print(f"  correlation: {correlation:.3f} (Spearman, held-out slice)")
+    print("surrogate selfcheck " + ("passed" if ok else "FAILED"))
+    return 0 if ok else 1
 
 
 def selfcheck(args) -> int:
@@ -257,6 +313,8 @@ def main(argv=None) -> int:
     if args.operator == "selfcheck":
         if args.lint:
             return lint_smoke(args)
+        if args.surrogate:
+            return surrogate_smoke(args)
         return selfcheck(args)
     output = build_operator(args)
     device = DEVICES[args.device]
@@ -265,8 +323,17 @@ def main(argv=None) -> int:
         checkpoint=args.checkpoint, resume=args.resume,
         workers=args.workers, cache_dir=args.cache_dir,
         lint=args.lint, prune_space=args.prune_space,
+        surrogate=args.surrogate, screen_ratio=args.screen_ratio,
     )
     print(result.summary())
+    if args.surrogate and result.tuning.surrogate is not None:
+        s = result.tuning.surrogate
+        print(
+            f"screening: {s['screened']} of {s['ranked']} ranked candidates "
+            f"screened out ({s['forwarded']} measured, {s['explored']} "
+            f"ε-promoted), {s['refits']} refits on {s['observations']} "
+            f"observations, rank correlation {s['rank_correlation']:.2f}"
+        )
     throughput = result.tuning.throughput
     if throughput is not None and (args.workers > 1 or args.cache_dir):
         print(

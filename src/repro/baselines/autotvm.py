@@ -27,8 +27,8 @@ from ..schedule import (
     GPU_REDUCE_PARTS,
     GPU_SPATIAL_PARTS,
 )
+from ..learn import GradientBoostedTrees
 from ..space import ChoiceKnob, Point, ScheduleSpace, SplitKnob, factorizations
-from .gbt import GradientBoostedTrees
 
 
 def _template_split_choices(extent: int, parts: int, inner_caps: Sequence[int]):

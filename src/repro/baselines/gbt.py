@@ -1,125 +1,9 @@
-"""Gradient-boosted regression trees, from scratch in numpy.
-
-A small XGBoost stand-in for the AutoTVM baseline's cost model [9]:
-least-squares boosting over depth-limited CART trees with quantile-sampled
-split thresholds.  Deterministic given its inputs.
-"""
+"""Backwards-compatible shim: the GBT implementation moved to
+``repro.learn.gbt`` so the AutoTVM baseline and the surrogate screen
+(``repro.explore.surrogate``) share one model."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from ..learn.gbt import GradientBoostedTrees, RegressionTree, _Node
 
-import numpy as np
-
-
-@dataclass
-class _Node:
-    feature: int = -1
-    threshold: float = 0.0
-    left: Optional["_Node"] = None
-    right: Optional["_Node"] = None
-    value: float = 0.0
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.left is None
-
-
-class RegressionTree:
-    """CART regression tree with greedy variance-reduction splits."""
-
-    def __init__(self, max_depth: int = 3, min_samples: int = 4, num_thresholds: int = 8):
-        self.max_depth = max_depth
-        self.min_samples = min_samples
-        self.num_thresholds = num_thresholds
-        self._root: Optional[_Node] = None
-
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
-        self._root = self._build(x, y, depth=0)
-        return self
-
-    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
-        node = _Node(value=float(y.mean()))
-        if depth >= self.max_depth or len(y) < self.min_samples or np.ptp(y) == 0:
-            return node
-        best_gain = 0.0
-        best = None
-        base_sse = float(((y - y.mean()) ** 2).sum())
-        for feature in range(x.shape[1]):
-            column = x[:, feature]
-            if np.ptp(column) == 0:
-                continue
-            quantiles = np.quantile(
-                column, np.linspace(0.1, 0.9, self.num_thresholds)
-            )
-            for threshold in np.unique(quantiles):
-                mask = column <= threshold
-                if mask.sum() == 0 or mask.sum() == len(y):
-                    continue
-                left, right = y[mask], y[~mask]
-                sse = float(((left - left.mean()) ** 2).sum()) + float(
-                    ((right - right.mean()) ** 2).sum()
-                )
-                gain = base_sse - sse
-                if gain > best_gain:
-                    best_gain = gain
-                    best = (feature, float(threshold), mask)
-        if best is None:
-            return node
-        feature, threshold, mask = best
-        node.feature = feature
-        node.threshold = threshold
-        node.left = self._build(x[mask], y[mask], depth + 1)
-        node.right = self._build(x[~mask], y[~mask], depth + 1)
-        return node
-
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        if self._root is None:
-            raise RuntimeError("tree is not fitted")
-        out = np.empty(len(x))
-        for i, row in enumerate(x):
-            node = self._root
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.value
-        return out
-
-
-class GradientBoostedTrees:
-    """Least-squares gradient boosting (the XGBoost role in AutoTVM)."""
-
-    def __init__(self, num_rounds: int = 30, learning_rate: float = 0.3,
-                 max_depth: int = 3, min_samples: int = 4):
-        self.num_rounds = num_rounds
-        self.learning_rate = learning_rate
-        self.max_depth = max_depth
-        self.min_samples = min_samples
-        self._trees: List[RegressionTree] = []
-        self._base: float = 0.0
-
-    @property
-    def is_fitted(self) -> bool:
-        return bool(self._trees) or self._base != 0.0
-
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
-        x = np.asarray(x, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
-        self._trees = []
-        self._base = float(y.mean()) if len(y) else 0.0
-        residual = y - self._base
-        for _ in range(self.num_rounds):
-            if np.allclose(residual, 0):
-                break
-            tree = RegressionTree(self.max_depth, self.min_samples).fit(x, residual)
-            update = tree.predict(x)
-            residual = residual - self.learning_rate * update
-            self._trees.append(tree)
-        return self
-
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
-        out = np.full(len(x), self._base)
-        for tree in self._trees:
-            out += self.learning_rate * tree.predict(x)
-        return out
+__all__ = ["GradientBoostedTrees", "RegressionTree", "_Node"]

@@ -6,6 +6,8 @@ from .features import (
     coalescing_efficiency,
     flops_of,
     output_write_stride,
+    point_features,
+    read_tensors,
     reuse_factor,
     tensor_reads,
     tile_footprint,
@@ -28,6 +30,6 @@ __all__ = [
     "access_stride", "bytes_of", "coalescing_efficiency", "compile_python",
     "emit_pseudo", "emit_python", "execute_compute_op", "execute_reference",
     "execute_scheduled", "expr_to_python", "flops_of", "output_write_stride",
-    "random_inputs", "reuse_factor", "run_generated", "tensor_reads",
-    "tile_footprint",
+    "point_features", "random_inputs", "read_tensors", "reuse_factor",
+    "run_generated", "tensor_reads", "tile_footprint",
 ]

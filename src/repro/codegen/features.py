@@ -16,7 +16,11 @@ whole-dimension footprints.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import math
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from ..ir import (
     ComputeOp,
@@ -35,20 +39,30 @@ def tensor_reads(op: ComputeOp):
     return collect_tensor_refs(body)
 
 
-_COEFFICIENT_CACHE: Dict = {}
-_CACHE_PINS: list = []
+#: LRU capacity of the coefficient cache.  One entry per (op, tensor)
+#: pair is plenty for any single tuning run; the cap keeps long
+#: multi-workload sessions (hundreds of distinct ops) from growing the
+#: cache — and its keep-alive pins — without bound.
+COEFFICIENT_CACHE_CAP = 128
+
+# Maps (id(op), id(tensor)) -> (result, op, tensor).  The op/tensor are
+# stored in the value so their ids stay unique while (and only while)
+# the entry is cached; eviction drops the pin together with the entry.
+_COEFFICIENT_CACHE: "OrderedDict" = OrderedDict()
 
 
 def access_coefficients(op: ComputeOp, tensor: Tensor):
     """Per-dimension affine coefficients of the op's first read of
     ``tensor`` over ``op.all_axes`` (None for non-affine dimensions).
 
-    Cached: the performance models call this for every candidate point,
-    and the probing answer only depends on (op, tensor).
+    Cached (bounded LRU): the performance models call this for every
+    candidate point, and the probing answer only depends on (op, tensor).
     """
     key = (id(op), id(tensor))
-    if key in _COEFFICIENT_CACHE:
-        return _COEFFICIENT_CACHE[key]
+    cached = _COEFFICIENT_CACHE.get(key)
+    if cached is not None:
+        _COEFFICIENT_CACHE.move_to_end(key)
+        return cached[0]
     axes = list(op.all_axes)
     refs = [r for r in tensor_reads(op) if r.tensor is tensor]
     if not refs:
@@ -56,9 +70,9 @@ def access_coefficients(op: ComputeOp, tensor: Tensor):
     else:
         ref = refs[0]
         result = [affine_coefficients(index, axes) for index in ref.indices]
-    _COEFFICIENT_CACHE[key] = result
-    # Keep the op/tensor alive so their ids stay unique while cached.
-    _CACHE_PINS.append((op, tensor))
+    _COEFFICIENT_CACHE[key] = (result, op, tensor)
+    while len(_COEFFICIENT_CACHE) > COEFFICIENT_CACHE_CAP:
+        _COEFFICIENT_CACHE.popitem(last=False)
     return result
 
 
@@ -182,3 +196,72 @@ def flops_of(op: ComputeOp) -> int:
 
 def bytes_of(tensor: Tensor, dtype_bytes: int = 4) -> int:
     return tensor.size * dtype_bytes
+
+
+def read_tensors(op: ComputeOp) -> List[Tensor]:
+    """Distinct tensors read by the op body, in first-read order."""
+    tensors: List[Tensor] = []
+    for ref in tensor_reads(op):
+        if not any(ref.tensor is t for t in tensors):
+            tensors.append(ref.tensor)
+    return tensors
+
+
+def point_features(space, point) -> np.ndarray:
+    """Surrogate feature vector of one schedule-space point.
+
+    The learned screen (``repro.explore.surrogate``) needs features that
+    correlate with modeled kernel time, not just with knob identity, so
+    this combines:
+
+    * the space's per-knob one-hot encoding (what the Q-network sees),
+    * log2 trip counts of every split factor plus each axis's inner-tile
+      extent (the loop structure the models price),
+    * annotation signals — log unroll depth, vectorize/shared flags,
+      fuse levels, a reorder one-hot,
+    * per-input-tensor memory behaviour under the chosen inner tile:
+      log tile footprint, log reuse factor, the innermost axis's flat
+      access stride, and its coalescing efficiency.
+
+    Deterministic, fixed-length per space, and cheap: the affine
+    coefficients behind footprints/strides come from the bounded
+    :func:`access_coefficients` cache.
+
+    ``space`` is duck-typed (``op``, ``decode``, ``features``) to keep
+    ``repro.codegen`` free of an import cycle with ``repro.space``.
+    """
+    op: ComputeOp = space.op
+    config = space.decode(point)
+    values: List[float] = [float(v) for v in space.features(point)]
+
+    tile: Dict[IterVar, int] = {}
+    for axis, factors in zip(op.axes, config.spatial_factors):
+        inner = 1
+        for factor in factors[1:]:
+            inner *= factor
+        tile[axis] = inner
+        values.extend(math.log2(max(factor, 1)) for factor in factors)
+        values.append(math.log2(max(inner, 1)))
+    for axis, factors in zip(op.reduce_axes, config.reduce_factors):
+        inner = 1
+        for factor in factors[1:]:
+            inner *= factor
+        tile[axis] = inner
+        values.extend(math.log2(max(factor, 1)) for factor in factors)
+        values.append(math.log2(max(inner, 1)))
+
+    values.append(math.log2(1 + config.unroll_depth))
+    values.append(1.0 if config.vectorize else 0.0)
+    values.append(1.0 if config.use_shared else 0.0)
+    values.append(float(config.fuse_levels))
+    values.extend(1.0 if config.reorder == choice else 0.0 for choice in (0, 1, 2))
+
+    innermost = op.axes[-1] if op.axes else None
+    for tensor in read_tensors(op):
+        footprint = tile_footprint(op, tensor, tile)
+        values.append(math.log1p(footprint))
+        values.append(math.log1p(reuse_factor(op, tensor, tile)))
+        stride = access_stride(op, tensor, innermost) if innermost is not None else 0
+        values.append(-1.0 if stride is None else math.log1p(abs(stride)))
+        values.append(coalescing_efficiency(op, tensor, innermost))
+    return np.asarray(values, dtype=np.float64)

@@ -3,6 +3,7 @@
 from .network import AdaDelta, MLP
 from .qlearning import QAgent, Transition, normalized_reward
 from .sa import select_starting_points, selection_probabilities
+from .surrogate import ScreenDecision, SurrogateScreen, spearman
 from .tuner import (
     BaseTuner,
     FlexTensorTuner,
@@ -14,7 +15,7 @@ from .tuner import (
 
 __all__ = [
     "AdaDelta", "BaseTuner", "FlexTensorTuner", "MLP", "PMethodTuner",
-    "QAgent", "RandomSampleTuner", "RandomWalkTuner", "Transition",
-    "TuneResult", "normalized_reward", "select_starting_points",
-    "selection_probabilities",
+    "QAgent", "RandomSampleTuner", "RandomWalkTuner", "ScreenDecision",
+    "SurrogateScreen", "Transition", "TuneResult", "normalized_reward",
+    "select_starting_points", "selection_probabilities", "spearman",
 ]

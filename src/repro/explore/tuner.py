@@ -48,6 +48,8 @@ class TuneResult:
     throughput: Optional[Dict] = None   # BatchEngine.stats() when one ran
     lint_rejects: int = 0               # points statically rejected (zero cost)
     lint_rules: Dict[str, int] = field(default_factory=dict)  # rule -> fire count
+    num_screened: int = 0               # points answered by the surrogate screen
+    surrogate: Optional[Dict] = None    # SurrogateScreen.stats() when one ran
 
     @property
     def found(self) -> bool:
@@ -192,6 +194,11 @@ class BaseTuner:
             # Engine counters are per-process, so after a resume they
             # cover the resumed portion of the run only.
             result.throughput = self.engine.stats()
+            if self.engine.surrogate is not None:
+                # Surrogate counters live in its (checkpointed) state, so
+                # they cover the whole run even across a resume.
+                result.surrogate = self.engine.surrogate.stats()
+                result.num_screened = self.engine.surrogate.num_screened
         return result
 
     def _run_trial(self, trial: int) -> None:
@@ -224,12 +231,18 @@ class BaseTuner:
         """JSON-compatible snapshot of all mutable tuner state (insertion
         order of H is preserved — the SA distribution and best() tie-breaks
         depend on it)."""
-        return {
+        state = {
             "rng": self.rng.bit_generator.state,
             "evaluated": [[list(p), perf] for p, perf in self.evaluated.items()],
             "visited": [list(p) for p in sorted(self.visited)],
             "evaluator": self.evaluator.get_state(),
         }
+        if self.engine is not None and self.engine.surrogate is not None:
+            # The surrogate's training set, fitted trees, ε RNG and
+            # counters checkpoint alongside the Q-network so a resumed
+            # run makes bit-identical screening decisions.
+            state["surrogate"] = self.engine.surrogate.get_state()
+        return state
 
     def set_state(self, state: Dict) -> None:
         """Restore a snapshot produced by :meth:`get_state`."""
@@ -237,6 +250,12 @@ class BaseTuner:
         self.evaluated = {tuple(p): perf for p, perf in state["evaluated"]}
         self.visited = {tuple(p) for p in state["visited"]}
         self.evaluator.set_state(state["evaluator"])
+        if (
+            self.engine is not None
+            and self.engine.surrogate is not None
+            and "surrogate" in state
+        ):
+            self.engine.surrogate.set_state(state["surrogate"])
 
 
 class FlexTensorTuner(BaseTuner):

@@ -19,6 +19,7 @@ from ..explore import (
     PMethodTuner,
     RandomSampleTuner,
     RandomWalkTuner,
+    SurrogateScreen,
     TuneResult,
 )
 from ..graph import MiniGraph, get_graph
@@ -75,6 +76,12 @@ class OptimizeResult:
             f"measurements: {self.tuning.num_measurements}, "
             f"simulated exploration: {self.tuning.exploration_seconds:.0f} s",
         ]
+        if self.tuning.surrogate is not None and self.tuning.num_screened:
+            su = self.tuning.surrogate
+            lines.append(
+                f"surrogate: {self.tuning.num_screened} points screened out at "
+                f"near-zero cost (rank correlation {su['rank_correlation']:.2f})"
+            )
         if self.tuning.lint_rejects:
             rules = ", ".join(
                 f"{rule}={count}"
@@ -161,6 +168,8 @@ def optimize(
     cache_dir=None,
     lint: bool = False,
     prune_space: bool = False,
+    surrogate: bool = False,
+    screen_ratio: float = 0.25,
 ) -> OptimizeResult:
     """Optimize one tensor computation for one device (Algorithm 1).
 
@@ -203,6 +212,15 @@ def optimize(
         prune_space: shrink split-knob choices that are unconditionally
             illegal on this device (one axis alone busting a budget)
             before exploring — ``docs/lint.md``.
+        surrogate: screen candidate batches through an online learned
+            cost model (``repro.explore.surrogate``): after the lint gate
+            and cache probe, only the top ``screen_ratio`` fraction of
+            each batch (plus an ε-greedy exploration slice) is actually
+            measured; the rest are answered with the model's prediction
+            at near-zero simulated cost.  Off by default so seeded
+            trajectories stay bit-identical — ``docs/surrogate.md``.
+        screen_ratio: fraction of each ranked batch forwarded to real
+            measurement when ``surrogate`` is on.
     """
     graph = output if isinstance(output, MiniGraph) else get_graph(output)
     # Front-end: static analysis + schedule space (pruned + rearranged).
@@ -233,7 +251,12 @@ def optimize(
             seed_points.append(space.encode(warm_start))
         except (KeyError, ValueError, IndexError):
             pass  # the stored config lies outside this (pruned) space
-    engine = BatchEngine(evaluator, workers=workers)
+    screen = (
+        SurrogateScreen(space, screen_ratio=screen_ratio, seed=seed)
+        if surrogate
+        else None
+    )
+    engine = BatchEngine(evaluator, workers=workers, surrogate=screen)
     tuner = tuner_cls(
         evaluator,
         gamma=gamma,

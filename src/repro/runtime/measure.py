@@ -349,24 +349,51 @@ class Evaluator:
             self._op_signature = "|".join(parts)
         return self._op_signature
 
-    def measure(self, point: Point) -> MeasureResult:
-        """Run the full fault-tolerant measurement pipeline on one point."""
+    def _retry_loop(self, next_attempt, on_retry=None):
+        """The one retry policy shared by the serial and pooled paths.
+
+        ``next_attempt(attempts)`` runs attempt number ``attempts``
+        (1-based) and returns ``(status, seconds, error)``; a transient
+        :attr:`MeasureStatus.RUNTIME_ERROR` is retried up to
+        ``max_retries`` times, invoking ``on_retry(retry_index)`` (0-based)
+        before each re-roll.  Returns ``(status, seconds, attempts,
+        error)`` of the final attempt.  Keeping this in one place means
+        backoff/billing changes cannot diverge between
+        :meth:`measure` and :meth:`remote_outcome`.
+        """
         config = self.measure_config
         attempts = 0
-        result: Optional[MeasureResult] = None
         while True:
             attempts += 1
-            outcome = self._attempt(point)
-            status, seconds, error = outcome
+            status, seconds, error = next_attempt(attempts)
             if status is MeasureStatus.RUNTIME_ERROR and attempts <= config.max_retries:
-                # Transient: pay the failed attempt plus a backoff pause,
-                # then try again.  Real tuners pay wall-clock for both.
-                self.clock += self.model.measurement_seconds(0.0)
-                self.clock += config.backoff_seconds * (2 ** (attempts - 1))
+                if on_retry is not None:
+                    on_retry(attempts - 1)
                 continue
-            result = self._finish(point, status, seconds, attempts, error)
-            break
-        return result
+            return status, seconds, attempts, error
+
+    def retry_charge(self, retry_index: int) -> float:
+        """Simulated seconds one failed-then-retried attempt bills: the
+        compile cost of the wasted attempt plus exponential backoff.
+        Single source of truth for serial billing (:meth:`measure`) and
+        pooled billing (:meth:`outcome_cost`)."""
+        return (
+            self.model.measurement_seconds(0.0)
+            + self.measure_config.backoff_seconds * (2 ** retry_index)
+        )
+
+    def measure(self, point: Point) -> MeasureResult:
+        """Run the full fault-tolerant measurement pipeline on one point."""
+
+        def on_retry(retry_index: int) -> None:
+            # Transient: pay the failed attempt plus a backoff pause,
+            # then try again.  Real tuners pay wall-clock for both.
+            self.clock += self.retry_charge(retry_index)
+
+        status, seconds, attempts, error = self._retry_loop(
+            lambda _attempts: self._attempt(point), on_retry=on_retry
+        )
+        return self._finish(point, status, seconds, attempts, error)
 
     # -- pool-safe measurement halves (repro.runtime.parallel) -------------
 
@@ -379,33 +406,27 @@ class Evaluator:
         rolls the serial path would have made.  The parent applies the
         outcome (clock, cache, records) with :meth:`apply_remote`.
         """
-        config = self.measure_config
-        attempts = 0
-        while True:
-            attempts += 1
-            status, seconds, error = self._attempt_at(point, base_attempt + attempts - 1)
-            if status is MeasureStatus.RUNTIME_ERROR and attempts <= config.max_retries:
-                continue
-            return {
-                "point": list(point),
-                "status": status.value,
-                "seconds": seconds,
-                "attempts": attempts,
-                "error": error,
-            }
+        status, seconds, attempts, error = self._retry_loop(
+            lambda attempts: self._attempt_at(point, base_attempt + attempts - 1)
+        )
+        return {
+            "point": list(point),
+            "status": status.value,
+            "seconds": seconds,
+            "attempts": attempts,
+            "error": error,
+        }
 
     def outcome_cost(self, outcome: Dict) -> float:
         """Simulated seconds one outcome bills — identical accounting to
         the serial :meth:`measure` path: each failed-then-retried attempt
         pays a compile cost plus exponential backoff, and the final
         attempt pays the (capped) kernel time."""
-        config = self.measure_config
         cost = 0.0
         for retry in range(outcome["attempts"] - 1):
-            cost += self.model.measurement_seconds(0.0)
-            cost += config.backoff_seconds * (2 ** retry)
+            cost += self.retry_charge(retry)
         cost += self.model.measurement_seconds(
-            min(outcome["seconds"], config.charge_cap)
+            min(outcome["seconds"], self.measure_config.charge_cap)
         )
         return cost
 

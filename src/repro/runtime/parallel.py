@@ -33,10 +33,13 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..space import Point
 from .measure import Evaluator
+
+if TYPE_CHECKING:
+    from ..explore.surrogate import SurrogateScreen
 
 #: Fork-inherited evaluator used by pool workers (set by the initializer).
 _WORKER_EVALUATOR: Optional[Evaluator] = None
@@ -67,6 +70,7 @@ class BatchEngine:
         evaluator: Evaluator,
         workers: int = 1,
         use_pool: Optional[bool] = None,
+        surrogate: Optional["SurrogateScreen"] = None,
     ):
         self.evaluator = evaluator
         self.workers = max(1, int(workers))
@@ -77,6 +81,10 @@ class BatchEngine:
                 and hasattr(os, "fork")
             )
         self.use_pool = bool(use_pool) and self.workers > 1
+        # Surrogate screen (repro.explore.surrogate): when attached, each
+        # batch is ranked after the lint gate and cache probe, and only
+        # the top fraction (plus the ε exploration slice) is measured.
+        self.surrogate = surrogate
         self._pool = None
         self.num_batches = 0
         self.num_submitted = 0
@@ -84,6 +92,8 @@ class BatchEngine:
         self.num_cached = 0
         self.num_deduped = 0
         self.num_lint_rejected = 0
+        self.num_screened = 0      # candidates answered by the surrogate
+        self.num_pool_batches = 0  # batches whose outcomes a fork pool computed
         self.busy_seconds = 0.0    # simulated seconds of worker occupancy
         self.span_seconds = 0.0    # simulated makespan summed over batches
         self.wall_seconds = 0.0    # real time spent inside evaluate_batch
@@ -121,6 +131,8 @@ class BatchEngine:
         """Performance values for ``points``, in submission order."""
         started = time.perf_counter()
         try:
+            if self.surrogate is not None:
+                return self._evaluate_screened(points)
             if self.workers == 1:
                 return self._evaluate_serial(points)
             return self._evaluate_parallel(points)
@@ -150,6 +162,71 @@ class BatchEngine:
         self.span_seconds += ev.clock - clock_before
         self.busy_seconds += ev.clock - clock_before
         return results
+
+    def _evaluate_screened(self, points: Sequence[Point]) -> List[float]:
+        """The full measure pipeline with the surrogate stage enabled:
+        lint gate -> cache probe -> surrogate screen -> measurement.
+
+        Screened-out candidates are answered with the surrogate's
+        predicted performance and billed only the model-inference cost
+        (near-zero, like a lint reject); the forwarded slice runs through
+        the usual serial or pooled measurement path.  Every fresh
+        measurement is fed back into the surrogate's training set, and
+        the screen's ranking is scored against the real results.
+        """
+        ev = self.evaluator
+        surrogate = self.surrogate
+        results: List[Optional[float]] = [None] * len(points)
+        candidates: List[Tuple[int, Point]] = []
+        for i, point in enumerate(points):
+            point = tuple(point)
+            rejected = ev.lint_reject(point)
+            if rejected is not None:
+                results[i] = rejected
+                self.num_lint_rejected += 1
+                continue
+            cached = ev.lookup(point)
+            if cached is not None:
+                results[i] = cached
+                self.num_cached += 1
+                continue
+            candidates.append((i, point))
+        if not candidates:
+            return [r for r in results]
+        decision = surrogate.screen([p for _, p in candidates])
+        for position, predicted in decision.screened:
+            results[candidates[position][0]] = predicted
+            self.num_screened += 1
+        if decision.cost_seconds:
+            # The whole batch pays one (near-zero) inference pass.
+            ev.charge(decision.cost_seconds)
+            self.span_seconds += decision.cost_seconds
+            self.busy_seconds += decision.cost_seconds
+        forward_points = [candidates[position][1] for position in decision.forward]
+        records_before = len(ev.records)
+        if forward_points:
+            if self.workers == 1:
+                clock_before = ev.clock
+                measured_before = ev.num_measurements
+                performances = [ev.evaluate(p) for p in forward_points]
+                measured = ev.num_measurements - measured_before
+                self.num_measured += measured
+                self.num_cached += len(forward_points) - measured
+                self.span_seconds += ev.clock - clock_before
+                self.busy_seconds += ev.clock - clock_before
+            else:
+                performances = self._evaluate_parallel(forward_points)
+            for position, performance in zip(decision.forward, performances):
+                results[candidates[position][0]] = performance
+        # Online training: every measurement this batch actually ran.
+        for record in ev.records[records_before:]:
+            surrogate.observe(record.point, record.performance)
+        surrogate.note_quality(
+            decision,
+            [(position, results[candidates[position][0]])
+             for position in decision.forward],
+        )
+        return [r for r in results]
 
     def _evaluate_parallel(self, points: Sequence[Point]) -> List[float]:
         ev = self.evaluator
@@ -190,6 +267,7 @@ class BatchEngine:
                 outcomes = pool.map(
                     _pool_measure, [(list(p), base) for p, base, _ in jobs]
                 )
+                self.num_pool_batches += 1
             except Exception:
                 # A broken pool must never kill the tuning run: fall back
                 # to in-process outcomes (identical results by contract).
@@ -236,13 +314,19 @@ class BatchEngine:
         )
         payload = {
             "workers": self.workers,
-            "pool": self.use_pool,
+            # Whether a fork pool actually computed outcomes this run —
+            # not the configured mode, which the in-process fallback can
+            # silently override (single-core host, broken pool).
+            "pool": self.num_pool_batches > 0,
+            "pool_mode": self.use_pool,
+            "pool_batches": self.num_pool_batches,
             "batches": self.num_batches,
             "points_submitted": self.num_submitted,
             "points_measured": self.num_measured,
             "points_cached": self.num_cached,
             "points_deduped": self.num_deduped,
             "points_lint_rejected": self.num_lint_rejected,
+            "points_screened": self.num_screened,
             "lint_rejects": ev.num_lint_rejects,
             "lint_rules": dict(ev.lint_rule_counts),
             "simulated_seconds": simulated,
@@ -264,6 +348,8 @@ class BatchEngine:
         }
         if ev.eval_cache is not None:
             payload["eval_cache"] = ev.eval_cache.stats()
+        if self.surrogate is not None:
+            payload["surrogate"] = self.surrogate.stats()
         return payload
 
     def report(self) -> str:
@@ -294,5 +380,13 @@ class BatchEngine:
             lines.append(
                 f"persistent: entries={ec['entries']} stores={ec['stores']} "
                 f"hit_rate={ec['hit_rate']:.0%}"
+            )
+        if "surrogate" in s:
+            su = s["surrogate"]
+            lines.append(
+                f"surrogate: {su['screened']} points screened out at near-zero "
+                f"cost ({su['forwarded']} forwarded, {su['explored']} via "
+                f"ε-exploration, {su['refits']} refits, rank correlation "
+                f"{su['rank_correlation']:.2f})"
             )
         return "\n".join(lines)
