@@ -50,6 +50,10 @@ class TuneResult:
     lint_rules: Dict[str, int] = field(default_factory=dict)  # rule -> fire count
     num_screened: int = 0               # points answered by the surrogate screen
     surrogate: Optional[Dict] = None    # SurrogateScreen.stats() when one ran
+    num_retries: int = 0                # measurement attempts beyond the first
+    quarantine_hits: int = 0            # free lookups answered by quarantine
+    num_quarantined: int = 0            # points in quarantine at the end
+    cluster: Optional[Dict] = None      # ClusterSupervisor.stats() when one ran
 
     @property
     def found(self) -> bool:
@@ -101,8 +105,17 @@ class BaseTuner:
 
     @property
     def parallel(self) -> bool:
-        """Whether trials should submit whole candidate batches."""
-        return self.engine is not None and self.engine.workers > 1
+        """Whether trials should submit whole candidate batches.
+
+        A supervised cluster whose workers are all quarantined (every
+        breaker open, or every node dead) degrades the trial shape
+        itself: the tuner proposes serially, exactly like ``workers=1``,
+        so a fully-quarantined run stays bit-identical to a serial run.
+        Workers re-admitted after cool-down restore the batched shape.
+        """
+        if self.engine is None or self.engine.workers <= 1:
+            return False
+        return not self.engine.cluster_degraded()
 
     # -- helpers -----------------------------------------------------------
 
@@ -154,6 +167,9 @@ class BaseTuner:
             status_counts=dict(self.evaluator.status_counts),
             lint_rejects=self.evaluator.num_lint_rejects,
             lint_rules=dict(self.evaluator.lint_rule_counts),
+            num_retries=self.evaluator.num_retries,
+            quarantine_hits=self.evaluator.num_quarantine_hits,
+            num_quarantined=len(self.evaluator.quarantine),
         )
 
     # -- the tuning loop ---------------------------------------------------
@@ -199,6 +215,10 @@ class BaseTuner:
                 # they cover the whole run even across a resume.
                 result.surrogate = self.engine.surrogate.stats()
                 result.num_screened = self.engine.surrogate.num_screened
+            if self.engine.cluster is not None:
+                # Supervisor counters are checkpointed state too, so they
+                # cover the whole run even across a resume.
+                result.cluster = self.engine.cluster.stats()
         return result
 
     def _run_trial(self, trial: int) -> None:
@@ -242,6 +262,11 @@ class BaseTuner:
             # counters checkpoint alongside the Q-network so a resumed
             # run makes bit-identical screening decisions.
             state["surrogate"] = self.engine.surrogate.get_state()
+        if self.engine is not None and self.engine.cluster is not None:
+            # The cluster supervisor's registry, breakers, health EWMAs,
+            # lease history and RNG checkpoint too, so a resumed run
+            # replays identical supervision decisions (docs/cluster.md).
+            state["cluster"] = self.engine.cluster.get_state()
         return state
 
     def set_state(self, state: Dict) -> None:
@@ -256,6 +281,12 @@ class BaseTuner:
             and "surrogate" in state
         ):
             self.engine.surrogate.set_state(state["surrogate"])
+        if (
+            self.engine is not None
+            and self.engine.cluster is not None
+            and "cluster" in state
+        ):
+            self.engine.cluster.set_state(state["cluster"])
 
 
 class FlexTensorTuner(BaseTuner):

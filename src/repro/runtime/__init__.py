@@ -1,14 +1,24 @@
 """Measurement harness, simulated exploration clock, fault injection,
-checkpointing, batched parallel evaluation, and tuning records."""
+checkpointing, batched parallel evaluation, cluster supervision, and
+tuning records."""
 
 from .cache import EVALCACHE_VERSION, EvalCache
 from .checkpoint import CHECKPOINT_VERSION, load_checkpoint, save_checkpoint
+from .cluster import (
+    BatchPlan,
+    BreakerState,
+    ClusterConfig,
+    ClusterSupervisor,
+    WorkerState,
+)
 from .fault import (
     Fault,
     FaultInjector,
     InjectedCompileError,
     InjectedHang,
     InjectedRuntimeError,
+    NodeFault,
+    NodeFaultInjector,
 )
 from .measure import (
     Evaluator,
@@ -22,7 +32,11 @@ from .records import RecordBook, TuningRecord, workload_key
 
 __all__ = [
     "BatchEngine",
+    "BatchPlan",
+    "BreakerState",
     "CHECKPOINT_VERSION",
+    "ClusterConfig",
+    "ClusterSupervisor",
     "EVALCACHE_VERSION",
     "EvalCache",
     "Evaluator",
@@ -35,8 +49,11 @@ __all__ = [
     "MeasureRecord",
     "MeasureResult",
     "MeasureStatus",
+    "NodeFault",
+    "NodeFaultInjector",
     "RecordBook",
     "TuningRecord",
+    "WorkerState",
     "load_checkpoint",
     "save_checkpoint",
     "workload_key",

@@ -22,6 +22,8 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
+from .locking import locked
+
 #: On-disk format version; bump when the entry layout changes.
 EVALCACHE_VERSION = 1
 
@@ -104,8 +106,10 @@ class EvalCache:
             "status": status,
         })
         # Open-per-append: worker processes forked mid-run never share a
-        # stale file-descriptor offset with the parent.
-        with open(path, "a") as f:
+        # stale file-descriptor offset with the parent.  The flock keeps
+        # appends from separate tuner processes sharing one cache dir
+        # whole-line atomic even where write() interleaving is possible.
+        with open(path, "a") as f, locked(f):
             f.write(line + "\n")
             f.flush()
             os.fsync(f.fileno())

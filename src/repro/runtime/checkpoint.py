@@ -38,7 +38,8 @@ def save_checkpoint(
     snapshot.setdefault("version", CHECKPOINT_VERSION)
     lines: List[str] = []
     if path.exists():
-        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        text = path.read_text(errors="replace")
+        lines = [l for l in text.splitlines() if l.strip()]
     lines.append(json.dumps(snapshot))
     lines = lines[-max(keep, 1):]
     tmp = path.with_name(path.name + ".tmp")
@@ -58,7 +59,9 @@ def load_checkpoint(path: Union[str, Path]) -> Optional[Dict]:
     path = Path(path)
     if not path.exists():
         return None
-    lines = path.read_text().splitlines()
+    # errors="replace": a disk-level corruption dropping raw bytes into
+    # the file must degrade to a skipped line, not an exception.
+    lines = path.read_text(errors="replace").splitlines()
     for line in reversed(lines):
         line = line.strip()
         if not line:

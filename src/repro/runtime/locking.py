@@ -1,0 +1,43 @@
+"""Advisory file locking for multi-process JSONL appends.
+
+Several tuner processes may share one ``--cache-dir`` (the persistent
+:class:`~repro.runtime.cache.EvalCache`) or one record book.  A single
+``write()`` of a short line is atomic on most POSIX filesystems, but
+that is an implementation detail, not a guarantee — NFS and long lines
+can interleave partial writes.  ``locked()`` takes an exclusive
+``fcntl.flock`` on the open file for the duration of the append, so
+concurrent writers serialize line-at-a-time and a reader never sees two
+half-lines spliced together.
+
+On platforms without ``fcntl`` (Windows) the lock degrades to a no-op:
+appends fall back to the previous single-write behaviour.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import IO, Iterator
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+
+@contextlib.contextmanager
+def locked(handle: IO) -> Iterator[IO]:
+    """Hold an exclusive advisory lock on an open file for the block.
+
+    The lock is tied to the file description, so it is released even if
+    the process dies mid-append — the crashed writer can truncate its
+    own line (which the JSONL loaders already skip) but can never leave
+    the file locked or splice into another writer's line.
+    """
+    if fcntl is None:
+        yield handle
+        return
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+    try:
+        yield handle
+    finally:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)

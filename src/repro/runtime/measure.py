@@ -551,16 +551,45 @@ class Evaluator:
             return
         self._quarantine.append(point)
         self._quarantined.add(point)
+        self._evict_quarantine_overflow()
+
+    def _evict_quarantine_overflow(self) -> None:
+        """Apply the FIFO bound, keeping list and membership set in
+        lock-step (the pair must never diverge — see the invariant test
+        in ``tests/test_fault_runtime.py``)."""
         while len(self._quarantine) > self.measure_config.quarantine_max:
             evicted = self._quarantine.pop(0)
             self._quarantined.discard(evicted)
             # Evicted points get a clean slate: they may be re-measured.
             self._failure_counts.pop(evicted, None)
 
+    def _set_quarantine(self, points) -> None:
+        """Rebuild the quarantine FIFO + membership set as one
+        invariant-preserving operation: duplicates collapse (a snapshot
+        from an older version or a hand-edited file must not leave the
+        list and the set disagreeing) and the FIFO bound is re-applied
+        (the configured ``quarantine_max`` may have shrunk since the
+        snapshot was written)."""
+        self._quarantine = []
+        self._quarantined = set()
+        for point in points:
+            point = tuple(point)
+            if point in self._quarantined:
+                continue
+            self._quarantine.append(point)
+            self._quarantined.add(point)
+        self._evict_quarantine_overflow()
+
     @property
     def quarantine(self) -> Tuple[Point, ...]:
         """Quarantined points, oldest first."""
         return tuple(self._quarantine)
+
+    @property
+    def num_retries(self) -> int:
+        """Measurement attempts beyond the first, summed over all records
+        — the retry bill the CLI's measurement-health report surfaces."""
+        return sum(max(0, r.attempts - 1) for r in self.records)
 
     def recent_error_rate(self, window: int = 20) -> float:
         """Fraction of failed measurements among the last ``window`` —
@@ -629,8 +658,7 @@ class Evaluator:
         self.status_counts = dict(state.get("status_counts", {}))
         self._attempt_counts = {tuple(p): c for p, c in state.get("attempt_counts", [])}
         self._failure_counts = {tuple(p): c for p, c in state.get("failure_counts", [])}
-        self._quarantine = [tuple(p) for p in state.get("quarantine", [])]
-        self._quarantined = set(self._quarantine)
+        self._set_quarantine(state.get("quarantine", []))
         self.num_quarantine_hits = state.get("num_quarantine_hits", 0)
         self.num_memo_hits = state.get("num_memo_hits", 0)
         self.num_canon_hits = state.get("num_canon_hits", 0)

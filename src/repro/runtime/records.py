@@ -18,6 +18,7 @@ from typing import Dict, Iterator, List, Optional, Union
 
 from ..schedule import NodeConfig
 from ..utils.serialization import config_from_dict, config_to_dict
+from .locking import locked
 
 
 def workload_key(operator: str, params: Dict, device: str) -> str:
@@ -101,8 +102,9 @@ class RecordBook:
         if self.path:
             # Single write + flush + fsync: the line is on disk (or not at
             # all) before add() returns, so a crash can truncate at most
-            # the line being appended — which _read_all then skips.
-            with open(self.path, "a") as f:
+            # the line being appended — which _read_all then skips.  The
+            # flock serializes concurrent writer processes line-at-a-time.
+            with open(self.path, "a") as f, locked(f):
                 f.write(record.to_json() + "\n")
                 f.flush()
                 os.fsync(f.fileno())
@@ -116,7 +118,7 @@ class RecordBook:
         if not self.path:
             return
         line = json.dumps({"type": "metrics", **payload})
-        with open(self.path, "a") as f:
+        with open(self.path, "a") as f, locked(f):
             f.write(line + "\n")
             f.flush()
             os.fsync(f.fileno())

@@ -53,6 +53,44 @@ class TestCheckpointFile:
         with pytest.warns(UserWarning):
             assert load_checkpoint(path) is None
 
+    def test_leftover_partial_tmp_file_is_ignored_and_overwritten(self, tmp_path):
+        # A kill mid-write leaves a partial sibling ``.tmp`` file; the
+        # real checkpoint must stay authoritative and the next save must
+        # clobber the leftover, not append to it.
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, {"trial": 1})
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text('{"trial": 99, "killed-mid-wr')
+        assert load_checkpoint(path)["trial"] == 1
+        save_checkpoint(path, {"trial": 2})
+        assert load_checkpoint(path)["trial"] == 2
+        assert not tmp.exists()
+
+    def test_final_file_truncated_mid_snapshot_falls_back(self, tmp_path):
+        # Simulate a filesystem without atomic rename durability: the
+        # newest snapshot line itself is cut in half.  Loading must fall
+        # back to the previous intact snapshot, and the next save must
+        # not be poisoned by the torn line.
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, {"trial": 1})
+        save_checkpoint(path, {"trial": 2})
+        data = path.read_text()
+        path.write_text(data[: len(data) - len(data.splitlines()[-1]) // 2 - 1])
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            assert load_checkpoint(path)["trial"] == 1
+        save_checkpoint(path, {"trial": 3})
+        assert load_checkpoint(path)["trial"] == 3
+
+    def test_binary_garbage_degrades_to_previous_snapshot(self, tmp_path):
+        # Raw bytes from disk corruption must never raise out of the
+        # loader (UnicodeDecodeError) — they are just another bad line.
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, {"trial": 5})
+        with open(path, "ab") as f:
+            f.write(b"\xff\xfe\x00garbage\x80\n")
+        with pytest.warns(UserWarning):
+            assert load_checkpoint(path)["trial"] == 5
+
 
 class TestResumeDeterminism:
     def run_uninterrupted(self, tuner_cls, trials, **ev_kwargs):

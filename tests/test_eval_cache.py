@@ -2,6 +2,9 @@
 accounting, on-disk round-trip, corruption tolerance, cross-run warm
 starts, and key isolation between workloads/devices/fault setups."""
 
+import multiprocessing
+import time
+
 import numpy as np
 import pytest
 
@@ -225,3 +228,82 @@ class TestWorkersOneDeterminismWithCache:
         cached_tuner.tune(6, num_seeds=3)
         assert cached_tuner.evaluated == plain_tuner.evaluated
         assert ev.num_measurements <= plain_tuner.evaluator.num_measurements
+
+
+# -- multi-process append safety (ISSUE #5 satellite) ----------------------
+
+def _append_cache_entries(directory, process_tag, count):
+    cache = EvalCache(directory)
+    for i in range(count):
+        cache.put(f"sig-{process_tag}", (process_tag, i), float(i), "ok")
+
+
+def _append_locked_pairs(path, process_tag, count):
+    # Two separate write() calls inside one lock hold: without the
+    # advisory flock these could interleave with another process's pair.
+    from repro.runtime.locking import locked
+
+    for i in range(count):
+        with open(path, "a") as f, locked(f):
+            f.write(f"begin {process_tag} {i}\n")
+            f.flush()
+            time.sleep(0.001)
+            f.write(f"end {process_tag} {i}\n")
+            f.flush()
+
+
+def _append_metrics(path, process_tag, count):
+    from repro.runtime import RecordBook
+
+    book = RecordBook(path)
+    for i in range(count):
+        book.add_metrics({"tag": process_tag, "i": i})
+
+
+@pytest.mark.slow
+class TestConcurrentWriters:
+    def spawn(self, target, args_list):
+        procs = [
+            multiprocessing.Process(target=target, args=args) for args in args_list
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+
+    def test_two_processes_interleave_cache_appends_cleanly(self, tmp_path):
+        self.spawn(
+            _append_cache_entries, [(tmp_path, 1, 100), (tmp_path, 2, 100)]
+        )
+        # Every line parses and every entry from both writers survived.
+        merged = EvalCache(tmp_path)
+        assert len(merged) == 200
+        for tag in (1, 2):
+            for i in range(100):
+                assert merged.get(f"sig-{tag}", (tag, i)) == (float(i), "ok")
+
+    def test_lock_holds_across_multiple_writes(self, tmp_path):
+        path = tmp_path / "pairs.log"
+        self.spawn(
+            _append_locked_pairs, [(path, 1, 30), (path, 2, 30)]
+        )
+        lines = path.read_text().splitlines()
+        assert len(lines) == 120
+        # Each begin must be immediately followed by its matching end:
+        # the lock was held across both writes, so pairs never interleave.
+        for begin, end in zip(lines[0::2], lines[1::2]):
+            assert begin.split() == ["begin", *end.split()[1:]]
+            assert end.startswith("end")
+
+    def test_two_processes_interleave_record_metrics_cleanly(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        self.spawn(_append_metrics, [(path, 1, 100), (path, 2, 100)])
+        from repro.runtime import RecordBook
+
+        book = RecordBook(path)
+        metrics = book.metrics()
+        assert len(metrics) == 200
+        for tag in (1, 2):
+            seen = [m["i"] for m in metrics if m["tag"] == tag]
+            assert sorted(seen) == list(range(100))

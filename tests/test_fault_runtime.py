@@ -205,6 +205,71 @@ class TestQuarantine:
         ev.evaluate(a_point(ev))
         assert ev.recent_error_rate() == 1.0
 
+    @staticmethod
+    def check_quarantine_invariant(ev):
+        # The FIFO list and the membership set must mirror each other
+        # exactly — a divergence would let an evicted point keep hitting
+        # the quarantine fast-path (or a quarantined one be re-measured).
+        assert set(ev._quarantine) == ev._quarantined
+        assert len(ev._quarantine) == len(set(ev._quarantine))
+        assert len(ev._quarantine) <= ev.measure_config.quarantine_max
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 7), st.booleans()), min_size=1, max_size=30
+        ),
+        qmax=st.integers(1, 4),
+    )
+    def test_quarantine_list_set_never_diverge(self, ops, qmax):
+        # Randomized interleavings of failures (which quarantine + evict)
+        # and snapshot round-trips must preserve the list/set invariant.
+        ev = self.make(threshold=1, qmax=qmax)
+        rng = np.random.default_rng(0)
+        points = []
+        while len(points) < 8:
+            p = ev.space.random_point(rng)
+            if p not in points:
+                points.append(p)
+        for index, roundtrip in ops:
+            ev.evaluate(points[index])
+            if roundtrip:
+                ev.set_state(json.loads(json.dumps(ev.get_state())))
+            self.check_quarantine_invariant(ev)
+
+    def test_resume_dedupes_a_corrupt_duplicate_snapshot(self):
+        # A hand-edited (or older-version) snapshot may carry duplicate
+        # quarantine entries; restoring must collapse them instead of
+        # letting the FIFO list and the set disagree on length.
+        ev = self.make(threshold=1)
+        point = a_point(ev)
+        ev.evaluate(point)
+        state = ev.get_state()
+        state["quarantine"] = state["quarantine"] * 3
+        ev.set_state(state)
+        self.check_quarantine_invariant(ev)
+        assert ev.quarantine == (point,)
+
+    def test_resume_with_shrunken_quarantine_max_rebounds(self):
+        # quarantine_max may shrink between save and resume (config
+        # change); the restored FIFO must re-apply the new bound.
+        big = self.make(threshold=1, qmax=8)
+        rng = np.random.default_rng(0)
+        points = []
+        while len(points) < 5:
+            p = big.space.random_point(rng)
+            if p not in points:
+                points.append(p)
+        for p in points:
+            big.evaluate(p)
+        assert len(big.quarantine) == 5
+        small = self.make(threshold=1, qmax=2)
+        small.set_state(big.get_state())
+        self.check_quarantine_invariant(small)
+        assert len(small.quarantine) == 2
+        # newest entries survive, oldest are dropped
+        assert small.quarantine == (points[3], points[4])
+
 
 class TestRecordBookHardening:
     def test_corrupt_lines_skipped_with_warning(self, tmp_path):
