@@ -17,6 +17,16 @@ Examples::
     python -m repro selfcheck --lint
     python -m repro selfcheck --surrogate
     python -m repro selfcheck --cluster
+    python -m repro submit --store /tmp/svc --tenant alice --op gemm --n 256
+    python -m repro serve --store /tmp/svc
+    python -m repro status --store /tmp/svc
+    python -m repro lookup --store /tmp/svc --op gemm --n 256 --enqueue
+    python -m repro selfcheck --serve
+
+Exit codes: 0 on success; nonzero on any failure (no schedule found, a
+selfcheck verdict of FAILED, a rejected submission, a lookup miss, a
+missing service store, or a serve pass that left jobs failed or
+quarantined).
 """
 
 from __future__ import annotations
@@ -39,7 +49,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "simulated device.",
     )
     parser.add_argument("operator",
-                        choices=["conv2d", "gemm", "gemv", "lint", "selfcheck"])
+                        choices=["conv2d", "gemm", "gemv", "lint", "selfcheck",
+                                 "serve", "submit", "status", "lookup"])
     parser.add_argument("--device", default="V100", choices=sorted(DEVICES))
     parser.add_argument("--trials", type=int, default=40)
     parser.add_argument("--seed", type=int, default=0)
@@ -89,6 +100,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="percentile of recent lease durations beyond "
                              "which a running lease is speculatively "
                              "re-executed (with --cluster; default 95)")
+    parser.add_argument("--serve", action="store_true",
+                        help="selfcheck only: run the tuning-service "
+                             "crash-recovery parity smoke (submit jobs from "
+                             "two tenants, hard-kill the daemon mid-run, "
+                             "restart, assert bit-identical outcomes)")
+    parser.add_argument("--store", default=".repro-serve",
+                        help="serve/submit/status/lookup: the service store "
+                             "directory (job WAL, checkpoints, records, "
+                             "eval cache)")
+    parser.add_argument("--tenant", default="anonymous",
+                        help="submit/lookup: tenant the job is billed to")
+    parser.add_argument("--op", default="gemm",
+                        choices=["conv2d", "gemm", "gemv"],
+                        help="submit/lookup: operator of the workload")
+    parser.add_argument("--priority", type=int, default=1, choices=[0, 1, 2],
+                        help="submit: priority lane (0=interactive, 1=batch, "
+                             "2=background)")
+    parser.add_argument("--ttl", type=float, default=None,
+                        help="submit: job TTL in simulated seconds")
+    parser.add_argument("--slice-trials", type=int, default=2,
+                        help="serve: trials per scheduling slice "
+                             "(preemption grain)")
+    parser.add_argument("--max-slices", type=int, default=None,
+                        help="serve: stop after this many slices (default: "
+                             "run until idle)")
+    parser.add_argument("--max-queue", type=int, default=64,
+                        help="serve/submit: global bound on active jobs")
+    parser.add_argument("--max-crashes", type=int, default=3,
+                        help="serve: crashes before a job is quarantined")
+    parser.add_argument("--enqueue", action="store_true",
+                        help="lookup: enqueue a tuning job on a miss")
     parser.add_argument("--sample", type=int, default=400,
                         help="lint only: random points sampled per schedule "
                              "space")
@@ -343,6 +385,179 @@ def cluster_smoke(args) -> int:
     return 1 if failures else 0
 
 
+def _serve_params(args) -> dict:
+    """Workload parameters of ``--op`` from the shared shape arguments."""
+    if args.op == "conv2d":
+        padding = args.padding if args.padding is not None else args.kernel // 2
+        return {
+            "batch": args.batch, "in_channel": args.in_channel,
+            "height": args.size, "width": args.size,
+            "out_channel": args.out_channel, "kernel": args.kernel,
+            "stride": args.stride, "padding": padding,
+        }
+    if args.op == "gemm":
+        return {"n": args.n, "k": args.k, "m": args.m}
+    return {"n": args.n, "k": args.k}
+
+
+def _serve_service(args, require_store: bool = False):
+    from pathlib import Path
+
+    from .serve import ServeConfig, TuningService
+
+    if require_store and not Path(args.store).exists():
+        print(f"no service store at {args.store}")
+        return None
+    config = ServeConfig(
+        slice_trials=args.slice_trials,
+        workers=max(1, args.workers),
+        max_queue=args.max_queue,
+        max_crashes=args.max_crashes,
+    )
+    return TuningService(args.store, config)
+
+
+def serve_command(args) -> int:
+    """Drive the scheduler loop until idle (or ``--max-slices``); exits
+    nonzero when any job ended FAILED or QUARANTINED this pass."""
+    from .serve import JobState
+
+    service = _serve_service(args, require_store=True)
+    if service is None:
+        return 1
+    if service.recovered_jobs:
+        print(f"recovered {len(service.recovered_jobs)} in-flight job(s) "
+              f"from the WAL: {', '.join(service.recovered_jobs)}")
+    executed = service.run(max_slices=args.max_slices)
+    stats = service.stats()
+    print(service.status_table())
+    print(f"\n{executed} slices run, clock {stats['clock']:.1f}s, "
+          f"{stats['records']} records, states {stats['by_state']}")
+    unhealthy = service.store.by_state(JobState.FAILED, JobState.QUARANTINED)
+    for job in unhealthy:
+        print(f"unhealthy: {job.job_id} {job.state.value} ({job.reason})")
+    return 1 if unhealthy else 0
+
+
+def submit_command(args) -> int:
+    """Submit one tuning job; exits nonzero when admission rejects it."""
+    from .serve import JobState
+
+    service = _serve_service(args)
+    job = service.submit(
+        args.tenant, args.op, _serve_params(args), args.device,
+        trials=args.trials, seed=args.seed, method=args.method,
+        priority=args.priority, ttl_seconds=args.ttl,
+    )
+    print(f"{job.job_id}: {job.state.value}"
+          + (f" ({job.reason})" if job.reason else ""))
+    return 0 if job.state is JobState.ADMITTED else 1
+
+
+def status_command(args) -> int:
+    """Print the job table and service counters from the WAL."""
+    service = _serve_service(args, require_store=True)
+    if service is None:
+        return 1
+    print(service.status_table())
+    stats = service.stats()
+    print(f"\nclock {stats['clock']:.1f}s  active {stats['active']}  "
+          f"records {stats['records']}  states {stats['by_state']}")
+    return 0
+
+
+def lookup_command(args) -> int:
+    """Answer (op, shape, device) from the record book; exits 0 on a
+    hit, nonzero on a miss (optionally enqueueing a tuning job)."""
+    service = _serve_service(args, require_store=True)
+    if service is None:
+        return 1
+    params = _serve_params(args)
+    record = service.lookup(
+        args.op, params, args.device, tenant=args.tenant,
+        enqueue=args.enqueue, trials=args.trials, seed=args.seed,
+    )
+    if record is not None:
+        print(f"hit: {record.key} -> {record.gflops:.1f} GFLOPS "
+              f"({record.trials} trials, seed {record.seed})")
+        return 0
+    print(f"miss: {args.op}{params}@{args.device}"
+          + (" (tuning job enqueued)" if args.enqueue else ""))
+    return 1
+
+
+def serve_smoke(args) -> int:
+    """``selfcheck --serve``: crash-recovery parity of the tuning service.
+
+    Submits four jobs from two tenants, runs one service to completion
+    (the reference), then replays the identical submissions twice with a
+    scripted hard kill of the daemon mid-run — once in the
+    checkpoint-ahead-of-WAL commit window, once right after a RUNNING
+    transition — restarts on the same store, and requires every job to
+    finish with the bit-identical best schedule, trial count and
+    measurement count as the uninterrupted run.
+    """
+    import tempfile
+
+    from .serve import DaemonKilled, ServeChaos, ServeConfig, TuningService
+
+    config = ServeConfig(slice_trials=2, workers=max(1, args.workers))
+    trials = min(args.trials, 4)
+
+    def submit_all(service):
+        service.submit("alice", "gemm", {"n": 8, "k": 8, "m": 8},
+                       args.device, trials=trials, seed=args.seed, method="q")
+        service.submit("bob", "gemm", {"n": 16, "k": 8, "m": 8},
+                       args.device, trials=trials, seed=args.seed + 1, method="p")
+        service.submit("alice", "conv2d",
+                       {"batch": 1, "in_channel": 4, "height": 8, "width": 8,
+                        "out_channel": 8, "kernel": 3, "padding": 1},
+                       args.device, trials=trials, seed=args.seed,
+                       method="random-walk")
+        service.submit("bob", "gemm", {"n": 8, "k": 8, "m": 8},
+                       args.device, trials=trials, seed=args.seed + 2,
+                       method="random-sample")
+
+    def outcomes(service):
+        return {
+            job.job_id: (job.state.value, job.trials_done, job.best_gflops,
+                         job.best_point, job.num_measurements)
+            for job in service.store.jobs.values()
+        }
+
+    with tempfile.TemporaryDirectory() as store:
+        reference = TuningService(store, config)
+        submit_all(reference)
+        slices = reference.run()
+        expected = outcomes(reference)
+    print(f"    reference: {len(expected)} jobs done in {slices} slices")
+
+    failures = 0
+    for label, chaos in (
+        ("commit-window kill", ServeChaos(kill_at_slice=3)),
+        ("pre-slice kill", ServeChaos(kill_before_run=2)),
+    ):
+        with tempfile.TemporaryDirectory() as store:
+            doomed = TuningService(store, config, chaos=chaos)
+            submit_all(doomed)
+            killed = False
+            try:
+                doomed.run()
+            except DaemonKilled:
+                killed = True
+            restarted = TuningService(store, config)
+            restarted.run()
+            parity = killed and outcomes(restarted) == expected
+            if not parity:
+                failures += 1
+            print(f"{label:>18}: {'ok' if parity else 'FAILED'}  "
+                  f"(recovered {len(restarted.recovered_jobs)} in-flight, "
+                  f"{restarted.stats()['by_state']})")
+    print("serve selfcheck "
+          + ("passed" if failures == 0 else f"FAILED ({failures})"))
+    return 1 if failures else 0
+
+
 def selfcheck(args) -> int:
     """End-to-end robustness smoke: every tuner must survive a short
     (optionally fault-injected) run on the conv2d smoke workload."""
@@ -416,6 +631,14 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.operator == "lint":
         return lint_command(args)
+    if args.operator == "serve":
+        return serve_command(args)
+    if args.operator == "submit":
+        return submit_command(args)
+    if args.operator == "status":
+        return status_command(args)
+    if args.operator == "lookup":
+        return lookup_command(args)
     if args.operator == "selfcheck":
         if args.lint:
             return lint_smoke(args)
@@ -423,6 +646,8 @@ def main(argv=None) -> int:
             return surrogate_smoke(args)
         if args.cluster:
             return cluster_smoke(args)
+        if args.serve:
+            return serve_smoke(args)
         return selfcheck(args)
     output = build_operator(args)
     device = DEVICES[args.device]
@@ -437,6 +662,11 @@ def main(argv=None) -> int:
     print(result.summary())
     print()
     print(measurement_health_report(result.tuning))
+    if not result.found:
+        # Exit-code contract: a tune that found no valid schedule is a
+        # failure — scripts and CI must never mistake it for success.
+        print("\nno valid schedule found")
+        return 1
     if args.surrogate and result.tuning.surrogate is not None:
         s = result.tuning.surrogate
         print(

@@ -405,6 +405,7 @@ def tune_workload(
             gflops=result.gflops,
             trials=trials,
             seed=kwargs.get("seed", 0),
+            signature=result.evaluator.op_signature(),
         ))
     if records is not None and result.tuning.throughput is not None:
         records.add_metrics({"key": key, **result.tuning.throughput})

@@ -36,16 +36,23 @@ class TuningRecord:
     gflops: float
     trials: int = 0
     seed: int = 0
+    #: Structural operator identity (:meth:`Evaluator.op_signature`) —
+    #: keys the O(1) best-per-signature index serving the tuning
+    #: service's read path.  Empty on records written before it existed.
+    signature: str = ""
 
     def to_json(self) -> str:
         """Serialize the record as one JSONL line."""
-        return json.dumps({
+        payload = {
             "key": self.key,
             "config": config_to_dict(self.config),
             "gflops": self.gflops,
             "trials": self.trials,
             "seed": self.seed,
-        })
+        }
+        if self.signature:
+            payload["signature"] = self.signature
+        return json.dumps(payload)
 
     @classmethod
     def from_json(cls, line: str) -> "TuningRecord":
@@ -57,6 +64,7 @@ class TuningRecord:
             gflops=payload["gflops"],
             trials=payload.get("trials", 0),
             seed=payload.get("seed", 0),
+            signature=str(payload.get("signature", "")),
         )
 
 
@@ -66,6 +74,10 @@ class RecordBook:
     def __init__(self, path: Optional[Union[str, Path]] = None):
         self.path = Path(path) if path else None
         self._best: Dict[str, TuningRecord] = {}
+        # O(1) best-schedule index keyed by structural operator signature
+        # (rebuilt on load, maintained on append): the high-QPS lookup
+        # path of ``repro.serve`` never scans the JSONL file per query.
+        self._best_by_signature: Dict[str, TuningRecord] = {}
         if self.path and self.path.exists():
             for record in self._read_all():
                 self._consider(record)
@@ -88,11 +100,16 @@ class RecordBook:
                 warnings.warn(f"skipping corrupt record at {self.path}:{lineno}")
 
     def _consider(self, record: TuningRecord) -> bool:
+        improved = False
         current = self._best.get(record.key)
         if current is None or record.gflops > current.gflops:
             self._best[record.key] = record
-            return True
-        return False
+            improved = True
+        if record.signature:
+            by_sig = self._best_by_signature.get(record.signature)
+            if by_sig is None or record.gflops > by_sig.gflops:
+                self._best_by_signature[record.signature] = record
+        return improved
 
     # -- public API --------------------------------------------------------
 
@@ -143,6 +160,21 @@ class RecordBook:
     def best(self, key: str) -> Optional[TuningRecord]:
         """Best known record for a workload key, or None."""
         return self._best.get(key)
+
+    def best_for_signature(self, signature: str) -> Optional[TuningRecord]:
+        """Best known record for a structural operator signature, or None.
+
+        O(1): served from the index maintained on every append and
+        rebuilt on load — property-tested against a full file scan in
+        ``tests/test_serve.py``.
+        """
+        if not signature:
+            return None
+        return self._best_by_signature.get(signature)
+
+    def signatures(self) -> List[str]:
+        """All indexed operator signatures, sorted."""
+        return sorted(self._best_by_signature)
 
     def keys(self) -> List[str]:
         """All workload keys with at least one record, sorted."""
