@@ -2,6 +2,7 @@
 
 from .features import (
     access_stride,
+    batch_point_features,
     bytes_of,
     coalescing_efficiency,
     flops_of,
@@ -27,7 +28,8 @@ from .pycodegen import (
 )
 
 __all__ = [
-    "access_stride", "bytes_of", "coalescing_efficiency", "compile_python",
+    "access_stride", "batch_point_features", "bytes_of",
+    "coalescing_efficiency", "compile_python",
     "emit_pseudo", "emit_python", "execute_compute_op", "execute_reference",
     "execute_scheduled", "expr_to_python", "flops_of", "output_write_stride",
     "point_features", "random_inputs", "read_tensors", "reuse_factor",

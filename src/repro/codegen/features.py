@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,9 +34,18 @@ from ..ir import (
 
 
 def tensor_reads(op: ComputeOp):
-    """All tensor-element reads in the op body (including duplicates)."""
+    """All tensor-element reads in the op body (including duplicates).
+
+    Memoized — the read set is a fixed property of the op, and the models
+    ask for it on every candidate evaluation.
+    """
+    entry = _READS_CACHE.get(id(op))
+    if entry is not None:
+        return entry[0]
     body = op.body.body if isinstance(op.body, Reduce) else op.body
-    return collect_tensor_refs(body)
+    reads = collect_tensor_refs(body)
+    _READS_CACHE.put(id(op), reads, op)
+    return reads
 
 
 #: LRU capacity of the coefficient cache.  One entry per (op, tensor)
@@ -44,6 +53,44 @@ def tensor_reads(op: ComputeOp):
 #: multi-workload sessions (hundreds of distinct ops) from growing the
 #: cache — and its keep-alive pins — without bound.
 COEFFICIENT_CACHE_CAP = 128
+
+
+class _PinnedLRU:
+    """Bounded LRU for id-keyed memoization of pure analysis queries.
+
+    Values are stored together with the objects whose ``id()`` appears in
+    the key, so those ids stay unique while (and only while) the entry is
+    cached; eviction drops the pin with the entry (the same discipline as
+    ``_COEFFICIENT_CACHE``).  ``get`` returns the ``(value, pins)`` entry
+    or ``None``, so legitimately-``None`` values are representable.
+    """
+
+    __slots__ = ("cap", "data")
+
+    def __init__(self, cap: int):
+        self.cap = cap
+        self.data: "OrderedDict" = OrderedDict()
+
+    def get(self, key):
+        entry = self.data.get(key)
+        if entry is not None:
+            self.data.move_to_end(key)
+        return entry
+
+    def put(self, key, value, pins) -> None:
+        self.data[key] = (value, pins)
+        while len(self.data) > self.cap:
+            self.data.popitem(last=False)
+
+
+# The performance models call these for every candidate point; the
+# answers depend only on (op, tensor, tile/axis) identity, so memoizing
+# them turns the per-point model evaluation into mostly table lookups
+# (ISSUE #7's hot-path vectorization).
+_FLOPS_CACHE = _PinnedLRU(COEFFICIENT_CACHE_CAP)
+_READS_CACHE = _PinnedLRU(COEFFICIENT_CACHE_CAP)
+_STRIDE_CACHE = _PinnedLRU(1024)
+_FOOTPRINT_CACHE = _PinnedLRU(4096)
 
 # Maps (id(op), id(tensor)) -> (result, op, tensor).  The op/tensor are
 # stored in the value so their ids stay unique while (and only while)
@@ -85,20 +132,26 @@ def tile_footprint(op: ComputeOp, tensor: Tensor, tile: Dict[IterVar, int]) -> i
     the standard affine footprint bound; a non-affine dimension counts in
     full.
     """
+    key = (id(op), id(tensor), tuple((id(a), e) for a, e in tile.items()))
+    entry = _FOOTPRINT_CACHE.get(key)
+    if entry is not None:
+        return entry[0]
     per_dim = access_coefficients(op, tensor)
     if per_dim is None:
-        return 0
-    axes = list(op.all_axes)
-    footprint = 1
-    for size, coeffs in zip(tensor.shape, per_dim):
-        if coeffs is None:
-            footprint *= size
-            continue
-        reach = 1
-        for axis, coeff in zip(axes, coeffs[:-1]):
-            extent = tile.get(axis, 1)
-            reach += abs(coeff) * (extent - 1)
-        footprint *= min(reach, size)
+        footprint = 0
+    else:
+        axes = list(op.all_axes)
+        footprint = 1
+        for size, coeffs in zip(tensor.shape, per_dim):
+            if coeffs is None:
+                footprint *= size
+                continue
+            reach = 1
+            for axis, coeff in zip(axes, coeffs[:-1]):
+                extent = tile.get(axis, 1)
+                reach += abs(coeff) * (extent - 1)
+            footprint *= min(reach, size)
+    _FOOTPRINT_CACHE.put(key, footprint, (op, tensor, tuple(tile)))
     return footprint
 
 
@@ -120,6 +173,16 @@ def access_stride(op: ComputeOp, tensor: Tensor, axis: IterVar) -> Optional[int]
     ``None`` means non-affine; ``0`` means the axis does not index the
     tensor (full reuse along it).
     """
+    key = (id(op), id(tensor), id(axis))
+    entry = _STRIDE_CACHE.get(key)
+    if entry is not None:
+        return entry[0]
+    stride = _access_stride(op, tensor, axis)
+    _STRIDE_CACHE.put(key, stride, (op, tensor, axis))
+    return stride
+
+
+def _access_stride(op: ComputeOp, tensor: Tensor, axis: IterVar) -> Optional[int]:
     per_dim = access_coefficients(op, tensor)
     if per_dim is None:
         return 0
@@ -188,10 +251,15 @@ def flops_of(op: ComputeOp) -> int:
     """Total floating-point operations of the node (MAC = 2)."""
     from ..ir import count_flops_per_point
 
+    entry = _FLOPS_CACHE.get(id(op))
+    if entry is not None:
+        return entry[0]
     total = op.output.size
     for axis in op.reduce_axes:
         total *= axis.extent
-    return total * count_flops_per_point(op.body)
+    total *= count_flops_per_point(op.body)
+    _FLOPS_CACHE.put(id(op), total, op)
+    return total
 
 
 def bytes_of(tensor: Tensor, dtype_bytes: int = 4) -> int:
@@ -265,3 +333,195 @@ def point_features(space, point) -> np.ndarray:
         values.append(-1.0 if stride is None else math.log1p(abs(stride)))
         values.append(coalescing_efficiency(op, tensor, innermost))
     return np.asarray(values, dtype=np.float64)
+
+
+#: LRU capacity of the per-space batch-featurization plan cache.
+_BATCH_PLAN_CACHE_CAP = 16
+
+# Maps id(space) -> (plan, space); the space rides along to pin its id.
+_BATCH_PLAN_CACHE: "OrderedDict" = OrderedDict()
+
+
+def _exact_log1p(values: np.ndarray) -> np.ndarray:
+    """``math.log1p`` applied elementwise through a unique-value table.
+
+    The scalar featurizer uses ``math.log1p``; ``np.log1p`` may route
+    through a different libm and disagree in the last bit, so the batch
+    path maps each *distinct* value through ``math.log1p`` and gathers —
+    bit-identical by construction, and cheap because tile footprints and
+    reuse factors repeat heavily within a batch.
+    """
+    uniques, inverse = np.unique(values, return_inverse=True)
+    table = np.array([math.log1p(float(v)) for v in uniques], dtype=np.float64)
+    return table[inverse.reshape(values.shape)]
+
+
+class _BatchFeaturePlan:
+    """Per-space compilation of :func:`point_features` into array ops.
+
+    Everything that depends only on the space (knob feature encodings,
+    per-choice log2 tables, affine coefficients, per-tensor stride and
+    coalescing constants) is computed once with the *scalar* helpers, so
+    each term is the exact float the scalar featurizer would emit; the
+    per-point work reduces to integer gathers, one integer matrix product
+    per tensor dimension, and two exact-log1p gathers per tensor.
+    """
+
+    def __init__(self, space):
+        op: ComputeOp = space.op
+        self.space = space
+        self.num_knobs = len(space.knobs)
+        # Block 1: the space's own per-knob encoding.
+        self.knob_tables = [
+            np.array([knob.features(i) for i in range(len(knob.choices))],
+                     dtype=np.float64)
+            for knob in space.knobs
+        ]
+        names = [knob.name for knob in space.knobs]
+        # Blocks 2-3: per split knob, [log2(f) for f in factors] + [log2(inner)],
+        # plus the integer inner-tile extent feeding the tensor terms.
+        self.split_columns: List[Tuple[int, np.ndarray]] = []
+        self.inner_extent_columns: List[Tuple[int, np.ndarray]] = []
+        axis_names = [f"sp{i}" for i in range(len(op.axes))] + [
+            f"re{i}" for i in range(len(op.reduce_axes))
+        ]
+        for name in axis_names:
+            ki = names.index(name)
+            knob = space.knobs[ki]
+            rows = []
+            inners = []
+            for factors in knob.choices:
+                inner = 1
+                for factor in factors[1:]:
+                    inner *= factor
+                rows.append(
+                    [math.log2(max(f, 1)) for f in factors]
+                    + [math.log2(max(inner, 1))]
+                )
+                inners.append(inner)
+            self.split_columns.append((ki, np.array(rows, dtype=np.float64)))
+            self.inner_extent_columns.append((ki, np.array(inners, dtype=np.int64)))
+
+        def choice_table(name: str, encode, default_row) -> Tuple[Optional[int], np.ndarray]:
+            if name not in names:
+                return None, np.array(default_row, dtype=np.float64)
+            ki = names.index(name)
+            rows = [encode(value) for value in space.knobs[ki].choices]
+            return ki, np.array(rows, dtype=np.float64)
+
+        # Blocks 4-8: annotation knobs (decode() defaults when absent).
+        self.annotation_tables = [
+            choice_table("unroll", lambda v: [math.log2(1 + v)], [0.0]),
+            choice_table("vectorize", lambda v: [1.0 if v else 0.0], [1.0]),
+            choice_table("shared", lambda v: [1.0 if v else 0.0], [1.0]),
+            choice_table("fuse", lambda v: [float(v)], [1.0]),
+            choice_table(
+                "reorder",
+                lambda v: [1.0 if v == choice else 0.0 for choice in (0, 1, 2)],
+                [1.0, 0.0, 0.0],
+            ),
+        ]
+        # Tensor block: affine structure and per-tensor constants.
+        axes = list(op.all_axes)
+        innermost = op.axes[-1] if op.axes else None
+        self.tensor_terms = []
+        for tensor in read_tensors(op):
+            stride = (
+                access_stride(op, tensor, innermost) if innermost is not None else 0
+            )
+            stride_value = -1.0 if stride is None else math.log1p(abs(stride))
+            coalescing = coalescing_efficiency(op, tensor, innermost)
+            per_dim = access_coefficients(op, tensor)
+            if per_dim is None:
+                # No read of this tensor: footprint 0, reuse pinned at 1.
+                self.tensor_terms.append(
+                    ("const", math.log1p(0), math.log1p(1.0), stride_value, coalescing)
+                )
+                continue
+            dims = []
+            for size, coeffs in zip(tensor.shape, per_dim):
+                if coeffs is None:
+                    dims.append(("full", int(size), None, 0))
+                    continue
+                weights = np.array(
+                    [abs(c) for c in coeffs[: len(axes)]], dtype=np.int64
+                )
+                offset = 1 - int(weights.sum())
+                dims.append(("affine", int(size), weights, offset))
+            self.tensor_terms.append(("affine", dims, stride_value, coalescing))
+        self.feature_size = None  # filled by the first batch
+
+    def __call__(self, points) -> np.ndarray:
+        op: ComputeOp = self.space.op
+        chosen = np.asarray([list(p) for p in points], dtype=np.intp)
+        if chosen.size == 0:
+            chosen = chosen.reshape(0, self.num_knobs)
+        blocks: List[np.ndarray] = []
+        for ki, table in enumerate(self.knob_tables):
+            blocks.append(table[chosen[:, ki]])
+        for ki, table in self.split_columns:
+            blocks.append(table[chosen[:, ki]])
+        for ki, table in self.annotation_tables:
+            if ki is None:
+                blocks.append(np.broadcast_to(table, (len(chosen), table.shape[-1])))
+            else:
+                blocks.append(table[chosen[:, ki]])
+        if self.tensor_terms:
+            extents = np.empty((len(chosen), len(self.inner_extent_columns)),
+                               dtype=np.int64)
+            for j, (ki, inners) in enumerate(self.inner_extent_columns):
+                extents[:, j] = inners[chosen[:, ki]]
+            iterations = extents.prod(axis=1)
+            for term in self.tensor_terms:
+                if term[0] == "const":
+                    _kind, log_fp, log_reuse, stride_value, coalescing = term
+                    blocks.append(np.broadcast_to(
+                        np.array([log_fp, log_reuse, stride_value, coalescing]),
+                        (len(chosen), 4),
+                    ))
+                    continue
+                _kind, dims, stride_value, coalescing = term
+                footprint = np.ones(len(chosen), dtype=np.int64)
+                for kind, size, weights, offset in dims:
+                    if kind == "full":
+                        footprint *= size
+                        continue
+                    reach = extents @ weights + offset
+                    footprint *= np.minimum(reach, size)
+                blocks.append(np.stack(
+                    [
+                        _exact_log1p(footprint),
+                        _exact_log1p(iterations / footprint),
+                        np.full(len(chosen), stride_value),
+                        np.full(len(chosen), coalescing),
+                    ],
+                    axis=1,
+                ))
+        matrix = np.hstack(blocks) if blocks else np.zeros((len(chosen), 0))
+        self.feature_size = matrix.shape[1]
+        return matrix
+
+
+def batch_point_features(space, points) -> np.ndarray:
+    """Vectorized :func:`point_features`: one (n_points, n_features)
+    matrix, each row **bit-identical** to ``point_features(space, p)``.
+
+    Per-space invariants (affine coefficients, read-tensor order, axis
+    lists, per-choice log tables) are compiled once into a cached
+    :class:`_BatchFeaturePlan`; the per-point cost is integer gathers and
+    one small matrix product per tensor dimension instead of a
+    ``decode()`` + Python loop round trip per candidate.  The parity is
+    pinned by ``tests/test_hotpath_parity.py`` across gemm/conv2d spaces
+    on every target.
+    """
+    key = id(space)
+    cached = _BATCH_PLAN_CACHE.get(key)
+    if cached is not None and cached[1] is space:
+        _BATCH_PLAN_CACHE.move_to_end(key)
+        plan = cached[0]
+    else:
+        plan = _BatchFeaturePlan(space)
+        _BATCH_PLAN_CACHE[key] = (plan, space)
+        while len(_BATCH_PLAN_CACHE) > _BATCH_PLAN_CACHE_CAP:
+            _BATCH_PLAN_CACHE.popitem(last=False)
+    return plan(points)

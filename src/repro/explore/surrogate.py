@@ -28,12 +28,13 @@ See ``docs/surrogate.md``.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..codegen import point_features
+from ..codegen import batch_point_features, point_features
 from ..learn import GradientBoostedTrees
 from ..space import Point
 
@@ -100,10 +101,22 @@ class SurrogateScreen:
         min_train: observations required before ranking starts; until
             then every candidate is forwarded (the random warm-up that
             gives the model unbiased coverage).
-        refit_every: deterministic refit cadence — the model is refit
-            whenever this many new observations have accumulated since
-            the last fit.  A pure function of the observation count, so
-            seeded runs (and kill+resume) are reproducible.
+        refit_every: base refit cadence.  The model is refit once this
+            many new observations have accumulated since the last fit,
+            with a deterministic backoff once the training set outgrows
+            the warm-up (``12 * refit_every`` observations): the gap
+            required becomes ``max(refit_every, (fitted_at - warmup) //
+            4)``, growing geometrically with the training set so total
+            refit cost stays O(n) instead of O(n²) over a long run while
+            the early search keeps a fresh model.  A pure function of
+            checkpointed fields (observation count and ``fitted_at``),
+            so seeded runs and kill+resume are bit-identical.
+        train_window: training-window policy.  0 (the default) refits on
+            the full history; a positive value refits on only the most
+            recent ``train_window`` observations — a deterministic slice
+            by observation order, so checkpointed resumes still fit on
+            exactly the same rows.  Screening dedup and counters always
+            see the full history either way.
         seed: seed of the private ε-draw RNG.
         inference_seconds: simulated cost billed per ranked candidate.
         window: size of the rolling score window used to screen batches
@@ -122,6 +135,7 @@ class SurrogateScreen:
         seed: int = 0,
         inference_seconds: float = INFERENCE_SECONDS,
         window: int = 64,
+        train_window: int = 0,
     ):
         if not 0.0 < screen_ratio <= 1.0:
             raise ValueError(f"screen_ratio must be in (0, 1], got {screen_ratio}")
@@ -132,6 +146,7 @@ class SurrogateScreen:
         self.refit_every = max(1, int(refit_every))
         self.inference_seconds = inference_seconds
         self.window = max(8, int(window))
+        self.train_window = max(0, int(train_window))
         self._recent_scores: List[float] = []
         self.model = GradientBoostedTrees()
         self._rng = np.random.default_rng(seed)
@@ -149,6 +164,16 @@ class SurrogateScreen:
         self.num_explored = 0                  # ε-slice promotions
         self.quality = _QualityStats()
         self._quality_pairs: List[Tuple[float, float]] = []
+        # Hot path (ISSUE #7): vectorized featurization of whole batches
+        # (bit-identical to the scalar path) and optional per-stage wall
+        # profiling.  The profiler is wired by the batch engine so the
+        # surrogate's stages land in the same TuneResult profile as the
+        # evaluator's.
+        self.use_batch_features = True
+        self.profiler = None
+
+    def _section(self, name: str):
+        return self.profiler.section(name) if self.profiler is not None else nullcontext()
 
     # -- featurization -----------------------------------------------------
 
@@ -158,6 +183,23 @@ class SurrogateScreen:
             cached = point_features(self.space, point)
             self._feature_cache[point] = cached
         return cached
+
+    def features_matrix(self, points: Sequence[Point]) -> np.ndarray:
+        """Feature rows for a batch, filling the per-point cache.
+
+        With :attr:`use_batch_features` (the default) uncached points
+        are featurized in one vectorized pass — bit-identical to calling
+        :meth:`features` per point (pinned by the parity suite)."""
+        if not self.use_batch_features:
+            return np.stack([self.features(p) for p in points])
+        missing = list(dict.fromkeys(
+            p for p in points if p not in self._feature_cache
+        ))
+        if missing:
+            rows = batch_point_features(self.space, missing)
+            for point, row in zip(missing, rows):
+                self._feature_cache[point] = row.copy()
+        return np.stack([self._feature_cache[p] for p in points])
 
     # -- training ----------------------------------------------------------
 
@@ -179,35 +221,59 @@ class SurrogateScreen:
             self._ys[index] = float(performance)
             return
         self._seen[point] = len(self._ys)
-        self._xs.append(self.features(point))
+        with self._section("features"):
+            self._xs.append(self.features(point))
         self._ys.append(float(performance))
         self.num_observations += 1
         self._maybe_refit()
 
     def _maybe_refit(self) -> None:
+        """Deterministic geometric refit backoff.
+
+        The first fit happens at ``min_train``; past the warm-up
+        (``12 * refit_every`` observations) the gap between refits grows
+        as ``(fitted_at - warmup) // 4``.  Each fit is O(current n), and
+        because the gaps grow geometrically the total over a run is O(n)
+        fits-worth of work instead of the O(n²) a fixed cadence costs —
+        while inside the warm-up the cadence is exactly the legacy
+        ``refit_every``, keeping the early search's model fresh.  Pure
+        function of checkpointed fields — kill+resume refits at the same
+        counts."""
         count = len(self._ys)
         if count < self.min_train:
             return
-        if count - self._fitted_at < self.refit_every and self.model.is_fitted:
+        warmup = 12 * self.refit_every
+        gap = max(self.refit_every, (self._fitted_at - warmup) // 4)
+        if self.model.is_fitted and count - self._fitted_at < gap:
             return
         self.refit()
 
     def refit(self) -> None:
-        """Refit the GBT on everything observed so far (log1p target —
-        performance spans orders of magnitude and failures sit at 0)."""
+        """Refit the GBT on the training window (log1p target —
+        performance spans orders of magnitude and failures sit at 0).
+        ``train_window == 0`` means full history; otherwise the most
+        recent ``train_window`` observations, by observation order."""
         if not self._ys:
             return
-        x = np.stack(self._xs)
-        y = np.log1p(np.asarray(self._ys, dtype=np.float64))
-        self.model.fit(x, y)
+        with self._section("surrogate_fit"):
+            start = 0
+            if self.train_window and len(self._ys) > self.train_window:
+                start = len(self._ys) - self.train_window
+            x = np.stack(self._xs[start:])
+            y = np.log1p(np.asarray(self._ys[start:], dtype=np.float64))
+            self.model.fit(x, y)
         self._fitted_at = len(self._ys)
         self.num_refits += 1
 
     # -- screening ---------------------------------------------------------
 
     def predict(self, points: Sequence[Point]) -> np.ndarray:
-        """Model scores (log1p GFLOPS) for a list of points."""
-        return self.model.predict(np.stack([self.features(p) for p in points]))
+        """Model scores (log1p GFLOPS) for a list of points — one
+        batched featurization and one vectorized ensemble walk."""
+        with self._section("features"):
+            x = self.features_matrix(points)
+        with self._section("surrogate_predict"):
+            return self.model.predict(x)
 
     def screen(self, points: Sequence[Point]) -> ScreenDecision:
         """Partition a candidate batch into forward / screened-out.
@@ -358,6 +424,7 @@ class SurrogateScreen:
             "refit_every": self.refit_every,
             "inference_seconds": self.inference_seconds,
             "window": self.window,
+            "train_window": self.train_window,
             "recent_scores": list(self._recent_scores),
             "observations": [
                 [list(p), self._ys[i]] for p, i in self._seen.items()
@@ -387,12 +454,15 @@ class SurrogateScreen:
         self.refit_every = state["refit_every"]
         self.inference_seconds = state["inference_seconds"]
         self.window = state["window"]
+        self.train_window = state.get("train_window", 0)
         self._recent_scores = list(state["recent_scores"])
         self._xs = []
         self._ys = []
         self._seen = {}
-        for raw_point, label in state["observations"]:
-            point = Point(raw_point)
+        restored = [Point(raw_point) for raw_point, _ in state["observations"]]
+        if restored:
+            self.features_matrix(restored)  # warm the cache in one pass
+        for point, (_raw, label) in zip(restored, state["observations"]):
             self._seen[point] = len(self._ys)
             self._xs.append(self.features(point))
             self._ys.append(label)

@@ -54,6 +54,8 @@ class TuneResult:
     quarantine_hits: int = 0            # free lookups answered by quarantine
     num_quarantined: int = 0            # points in quarantine at the end
     cluster: Optional[Dict] = None      # ClusterSupervisor.stats() when one ran
+    lowering: Optional[Dict] = None     # LoweringMemo.stats() when memoizing
+    profile: Optional[Dict] = None      # HotPathProfiler.stats() (wall seconds)
 
     @property
     def found(self) -> bool:
@@ -170,6 +172,12 @@ class BaseTuner:
             num_retries=self.evaluator.num_retries,
             quarantine_hits=self.evaluator.num_quarantine_hits,
             num_quarantined=len(self.evaluator.quarantine),
+            lowering=(
+                self.evaluator.lowering_memo.stats()
+                if self.evaluator.lowering_memo is not None
+                else None
+            ),
+            profile=self.evaluator.profiler.stats(),
         )
 
     # -- the tuning loop ---------------------------------------------------

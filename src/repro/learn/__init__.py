@@ -8,5 +8,11 @@ online surrogate screen in front of real measurement
 """
 
 from .gbt import GradientBoostedTrees, RegressionTree
+from .reference import ReferenceGradientBoostedTrees, ReferenceRegressionTree
 
-__all__ = ["GradientBoostedTrees", "RegressionTree"]
+__all__ = [
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "ReferenceGradientBoostedTrees",
+    "ReferenceRegressionTree",
+]

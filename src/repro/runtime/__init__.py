@@ -28,6 +28,7 @@ from .measure import (
     MeasureStatus,
 )
 from .parallel import BatchEngine
+from .profile import HotPathProfiler
 from .records import RecordBook, TuningRecord, workload_key
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "Evaluator",
     "Fault",
     "FaultInjector",
+    "HotPathProfiler",
     "InjectedCompileError",
     "InjectedHang",
     "InjectedRuntimeError",

@@ -29,7 +29,8 @@ from ..codegen import flops_of
 from ..graph import MiniGraph, get_graph
 from ..ir import format_operation
 from ..model import INVALID_TIME, PerformanceModel, model_for, target_of
-from ..schedule import GraphConfig, LoweringError, Scheduled, lower
+from ..schedule import GraphConfig, LoweringError, LoweringMemo, Scheduled, lower
+from .profile import HotPathProfiler
 from ..space import Point, ScheduleSpace, build_space
 from .cache import EvalCache
 from .fault import (
@@ -153,6 +154,7 @@ class Evaluator:
         eval_cache: Optional[EvalCache] = None,
         canonicalize: bool = True,
         linter: Optional["ScheduleLinter"] = None,
+        memoize_lowering: bool = True,
     ):
         self.graph: MiniGraph = output if isinstance(output, MiniGraph) else get_graph(output)
         self.device_spec = device_spec
@@ -195,13 +197,22 @@ class Evaluator:
         self.linter = linter
         self.num_lint_rejects = 0
         self.lint_rule_counts: Dict[str, int] = {}
+        # Hot path (ISSUE #7): memoize the structural half of lowering
+        # across points sharing split/reorder/fuse decisions, and account
+        # wall seconds per stage.  Both are pure accelerations — results
+        # are bit-identical with the memo on or off.
+        self.lowering_memo = LoweringMemo() if memoize_lowering else None
+        self.profiler = HotPathProfiler()
 
     # -- evaluation --------------------------------------------------------
 
     def lower_point(self, point: Point) -> Scheduled:
         """Lower a space point to its scheduled loop nest."""
         config = self.space.decode(point)
-        return lower(self.graph, config, self.target, self.graph_config)
+        return lower(
+            self.graph, config, self.target, self.graph_config,
+            memo=self.lowering_memo,
+        )
 
     def evaluate(self, point: Point) -> float:
         """Performance value E of a point in GFLOPS (0 for failures).
@@ -457,8 +468,10 @@ class Evaluator:
     ) -> Tuple[MeasureStatus, float, Optional[str]]:
         """One measurement attempt at an explicit lifetime attempt index.
 
-        Pure with respect to evaluator state: touches no counters, no
+        Pure with respect to *simulated* state: touches no counters, no
         clock, no records — safe to run inside a forked worker process.
+        (The lowering memo and wall-time profiler are touched, but both
+        are pure accelerations/diagnostics with no effect on results.)
         """
         config = self.measure_config
         fault = Fault.NONE
@@ -467,12 +480,14 @@ class Evaluator:
         try:
             if fault is Fault.COMPILE:
                 raise InjectedCompileError("injected compile failure")
-            scheduled = self.lower_point(point)
+            with self.profiler.section("lower"):
+                scheduled = self.lower_point(point)
             if fault is Fault.HANG:
                 raise InjectedHang("injected kernel hang")
             if fault is Fault.TRANSIENT:
                 raise InjectedRuntimeError("injected transient device error")
-            seconds = self.model.estimate_seconds(scheduled)
+            with self.profiler.section("model_eval"):
+                seconds = self.model.estimate_seconds(scheduled)
         except LoweringError as exc:
             return MeasureStatus.LOWER_ERROR, INVALID_TIME, str(exc)
         except InjectedHang as exc:

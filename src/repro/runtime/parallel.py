@@ -91,7 +91,11 @@ class BatchEngine:
         # Surrogate screen (repro.explore.surrogate): when attached, each
         # batch is ranked after the lint gate and cache probe, and only
         # the top fraction (plus the ε exploration slice) is measured.
+        # Its fit/predict/featurize wall time lands in the evaluator's
+        # hot-path profile so TuneResult carries one unified breakdown.
         self.surrogate = surrogate
+        if surrogate is not None and getattr(surrogate, "profiler", None) is None:
+            surrogate.profiler = evaluator.profiler
         # Cluster supervisor (repro.runtime.cluster): when attached,
         # simulated-clock billing runs through its lease/heartbeat/
         # speculation scheduler instead of plain LPT, and an all-open
@@ -358,6 +362,12 @@ class BatchEngine:
         utilization = (
             self.busy_seconds / (simulated * self.workers) if simulated else 0.0
         )
+        if not self.use_pool:
+            engine_mode = "serial"
+        elif self.num_pool_batches > 0:
+            engine_mode = "fork-pool"
+        else:
+            engine_mode = "in-process-fallback"
         payload = {
             "workers": self.workers,
             # Whether a fork pool actually computed outcomes this run —
@@ -365,6 +375,7 @@ class BatchEngine:
             # silently override (single-core host, broken pool).
             "pool": self.num_pool_batches > 0,
             "pool_mode": self.use_pool,
+            "engine_mode": engine_mode,
             "pool_batches": self.num_pool_batches,
             "batches": self.num_batches,
             "points_submitted": self.num_submitted,
@@ -392,6 +403,9 @@ class BatchEngine:
             "disk_hits": ev.num_disk_hits,
             "quarantine_hits": ev.num_quarantine_hits,
         }
+        if ev.lowering_memo is not None:
+            payload["lowering"] = ev.lowering_memo.stats()
+        payload["profile"] = ev.profiler.stats()
         if ev.eval_cache is not None:
             payload["eval_cache"] = ev.eval_cache.stats()
         if self.surrogate is not None:
@@ -408,7 +422,8 @@ class BatchEngine:
             f"{s['simulated_seconds']:.3f} simulated s "
             f"({s['points_per_simulated_second']:.1f} pts/s simulated, "
             f"{s['points_per_wall_second']:.1f} pts/s wall)",
-            f"engine: workers={s['workers']} pool={'on' if s['pool'] else 'off'} "
+            f"engine: mode={s['engine_mode']} workers={s['workers']} "
+            f"pool={'on' if s['pool'] else 'off'} "
             f"utilization={s['pool_utilization']:.0%}",
             f"cache: hit_rate={s['cache_hit_rate']:.0%} "
             f"(memo={s['memo_hits']} canon={s['canon_hits']} "
@@ -437,6 +452,16 @@ class BatchEngine:
                 f"ε-exploration, {su['refits']} refits, rank correlation "
                 f"{su['rank_correlation']:.2f})"
             )
+        if "lowering" in s and (s["lowering"]["hits"] or s["lowering"]["misses"]):
+            lo = s["lowering"]
+            lines.append(
+                f"lowering memo: hit_rate={lo['hit_rate']:.0%} "
+                f"({lo['hits']} hits / {lo['misses']} misses, "
+                f"{lo['entries']} structures)"
+            )
+        profile_line = self.evaluator.profiler.report()
+        if "(no instrumented calls)" not in profile_line:
+            lines.append(profile_line)
         if self.cluster is not None:
             lines.append(self.cluster.report())
         return "\n".join(lines)

@@ -32,18 +32,22 @@ from .lower import (
     FPGA_SPATIAL_PARTS,
     GPU_REDUCE_PARTS,
     GPU_SPATIAL_PARTS,
+    LoweredStructure,
     LoweringError,
+    LoweringMemo,
     TARGETS,
     lower,
+    structural_key,
 )
 
 __all__ = [
     "ANNOTATIONS", "BLOCK_X", "CPU_REDUCE_PARTS", "CPU_SPATIAL_PARTS",
     "FPGA_SPATIAL_PARTS", "GPU_REDUCE_PARTS", "GPU_SPATIAL_PARTS",
-    "GraphConfig", "LoopDef", "LoweringError", "NodeConfig", "PARALLEL",
+    "GraphConfig", "LoopDef", "LoweredStructure", "LoweringError",
+    "LoweringMemo", "NodeConfig", "PARALLEL",
     "PE_PARALLEL", "REORDER_CHOICES", "REORDER_INTERLEAVED",
     "REORDER_REDUCE_INNER", "REORDER_SPATIAL_INNER", "SERIAL", "Scheduled",
     "TARGETS", "THREAD_X", "UNROLL", "UNROLL_CHOICES", "VECTORIZE", "VTHREAD",
-    "fuse_loops", "lower", "split_axis", "substitute_vars",
+    "fuse_loops", "lower", "split_axis", "structural_key", "substitute_vars",
     "ScheduleValidationError", "quick_report", "validate_schedule",
 ]

@@ -21,6 +21,9 @@ paper's pre-determined decision for data-rearrangement nodes.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from collections.abc import Mapping, MutableMapping
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph import MiniGraph, get_graph
@@ -43,8 +46,6 @@ from .loopnest import (
     UNROLL,
     VECTORIZE,
     VTHREAD,
-    fuse_loops,
-    split_axis,
     substitute_vars,
 )
 
@@ -61,17 +62,244 @@ class LoweringError(ValueError):
     """Raised when a configuration cannot be lowered for a target."""
 
 
+class LazyIndexMap(Mapping):
+    """Index map whose expression construction, fuse-recovery substitution
+    and simplification are all deferred to the first value read.
+
+    The axis -> expression reconstruction is the most expensive part of
+    lowering (building the split re-composition expressions, tree-walking
+    ``substitute_vars`` per fused loop, then ``simplify``), yet the
+    performance models never read it — only code generation,
+    interpretation and schedule validation do.  The structural phase
+    therefore records only *recipes*: per axis the ``(var, extent)``
+    chain of its split loops, plus per fused loop the ``(fused_var,
+    parts)`` pair.  Keys are known up front (the op's axes), so
+    membership checks and ``len`` are free; the first
+    ``[]``/``items()``/``values()`` builds the expressions exactly as the
+    eager path would (same construction order, same substitution order,
+    same ``simplify`` pass) and caches them for every subsequent read.
+    Instances are immutable and shared across all :class:`Scheduled`
+    objects built from one structure, so each unique loop structure pays
+    for reconstruction at most once per process.
+    """
+
+    __slots__ = ("_split_specs", "_fuse_specs", "_final")
+
+    def __init__(self, split_specs, fuse_specs):
+        # axis -> ((var, extent), ...) outermost-first split chain
+        self._split_specs = split_specs
+        # ((fused_var, ((var, extent), ...)), ...) in application order
+        self._fuse_specs = fuse_specs
+        self._final: Optional[Dict[IterVar, Expr]] = None
+
+    def _materialize(self) -> Dict[IterVar, Expr]:
+        final = self._final
+        if final is None:
+            from ..ir import simplify
+
+            recoveries = []
+            for fused_var, parts in self._fuse_specs:
+                total = 1
+                for _, extent in parts:
+                    total *= extent
+                recovery: Dict[Var, Expr] = {}
+                trailing = total
+                for var, extent in parts:
+                    trailing //= extent
+                    recovery[var] = (
+                        (fused_var // trailing) % extent
+                        if trailing > 1
+                        else fused_var % extent
+                    )
+                recoveries.append(recovery)
+            final = {}
+            for axis, parts in self._split_specs.items():
+                expr: Expr = parts[0][0]
+                for var, extent in parts[1:]:
+                    expr = expr * extent + var
+                for recovery in recoveries:
+                    expr = substitute_vars(expr, recovery)
+                final[axis] = simplify(expr)
+            self._final = final
+        return final
+
+    def __getitem__(self, axis: IterVar) -> Expr:
+        return self._materialize()[axis]
+
+    def __iter__(self):
+        return iter(self._split_specs)
+
+    def __len__(self) -> int:
+        return len(self._split_specs)
+
+    def __contains__(self, axis) -> bool:
+        return axis in self._split_specs
+
+    def view(self) -> "IndexMapView":
+        return IndexMapView(self)
+
+
+_DELETED = object()
+
+
+class IndexMapView(MutableMapping):
+    """Per-:class:`Scheduled` copy-on-write facade over a shared
+    :class:`LazyIndexMap`.
+
+    The lazy map (and its memoized expressions) is shared by every
+    ``Scheduled`` built from one cached structure, so it must never be
+    written.  Callers that patch an index map — validation tests corrupt
+    entries on purpose — get their writes stored in a private overlay,
+    leaving the shared map and every sibling schedule untouched.
+    """
+
+    __slots__ = ("_base", "_overrides")
+
+    def __init__(self, base: Mapping):
+        self._base = base
+        self._overrides: Optional[Dict] = None
+
+    def __getitem__(self, axis):
+        if self._overrides is not None:
+            value = self._overrides.get(axis, _DELETED)
+            if value is not _DELETED:
+                return value
+            if axis in self._overrides:
+                raise KeyError(axis)
+        return self._base[axis]
+
+    def __setitem__(self, axis, expr) -> None:
+        if self._overrides is None:
+            self._overrides = {}
+        self._overrides[axis] = expr
+
+    def __delitem__(self, axis) -> None:
+        if axis not in self:
+            raise KeyError(axis)
+        if self._overrides is None:
+            self._overrides = {}
+        self._overrides[axis] = _DELETED
+
+    def __contains__(self, axis) -> bool:
+        # Delegates to the lazy map's key set — must NOT go through
+        # __getitem__ (the MutableMapping default), which would force
+        # expression materialization just to answer membership.
+        if self._overrides is not None and axis in self._overrides:
+            return self._overrides[axis] is not _DELETED
+        return axis in self._base
+
+    def __iter__(self):
+        overrides = self._overrides or {}
+        for axis in self._base:
+            if overrides.get(axis, None) is not _DELETED:
+                yield axis
+        for axis in overrides:
+            if axis not in self._base and overrides[axis] is not _DELETED:
+                yield axis
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+@dataclass(frozen=True)
+class LoweredStructure:
+    """The reusable (annotation-independent) half of a lowered schedule.
+
+    Lowering splits into two phases: the *structural* phase — axis
+    splits, loop fusion, reorder, index-expression reconstruction, which
+    depends only on :func:`structural_key` — and the cheap *annotation*
+    phase (vectorize / unroll marking, cache declarations, config-valued
+    primitives).  Two configs sharing a structural key share one
+    ``LoweredStructure``; each gets fresh :class:`LoopDef` objects
+    (annotations are mutated in place) while the ``Var`` objects and the
+    (lazy, materialize-once) index map are shared.
+    """
+
+    loop_specs: Tuple[Tuple[Var, int, Tuple, str], ...]
+    index_map: LazyIndexMap                  # shared across Scheduled uses
+    primitives: Tuple[str, ...]              # structural trace prefix
+    has_inner: bool                          # GPU: inner tile loops exist
+
+
+def structural_key(config: NodeConfig, target: str) -> Tuple:
+    """Hashable identity of the structural phase of lowering ``config``.
+
+    Annotation knobs (unroll / vectorize / shared, FPGA pipeline /
+    partition / buffer) are deliberately excluded: points differing only
+    in them lower to the same loop nest and index map.
+    """
+    if target == "gpu":
+        return (
+            "gpu", config.spatial_factors, config.reduce_factors, config.reorder,
+        )
+    if target == "cpu":
+        return (
+            "cpu", config.spatial_factors, config.reduce_factors,
+            config.reorder, config.fuse_levels,
+        )
+    if target == "fpga":
+        return ("fpga", config.spatial_factors, config.reduce_factors)
+    raise LoweringError(f"unknown target {target!r}; expected one of {TARGETS}")
+
+
+class LoweringMemo:
+    """Bounded LRU of :class:`LoweredStructure` keyed by structural key.
+
+    One memo per evaluator (op, target and graph config are fixed
+    there), so the key does not need to repeat them.  Configurations
+    that fail to lower are never cached — they re-raise on every
+    attempt, exactly like the unmemoized path.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = max(1, int(capacity))
+        self._entries: "OrderedDict[Tuple, LoweredStructure]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple) -> Optional[LoweredStructure]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def put(self, key: Tuple, structure: LoweredStructure) -> None:
+        self._entries[key] = structure
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._entries),
+        }
+
+
 def lower(
     output,
     config: NodeConfig,
     target: str,
     graph_config: Optional[GraphConfig] = None,
+    memo: Optional[LoweringMemo] = None,
 ) -> Scheduled:
     """Lower the main node of ``output``'s graph under ``config``.
 
     ``output`` may be a tensor or a :class:`MiniGraph`.  Helper compute
     nodes are inlined according to ``graph_config`` (all inlined by
-    default).
+    default).  With a ``memo``, the structural phase (splits, fusion,
+    reorder, index simplification) is reused across configs that differ
+    only in annotation knobs; the result is bit-identical to the
+    unmemoized path (pinned by ``tests/test_hotpath_parity.py``).
     """
     from ..ir import Reduce
 
@@ -85,25 +313,90 @@ def lower(
         and graph_config.should_inline(op.name)
         and not isinstance(op.body, Reduce)  # reductions cannot be inlined
     )
-    if target == "gpu":
-        scheduled = _lower_gpu(main, config)
-    elif target == "cpu":
-        scheduled = _lower_cpu(main, config)
-    elif target == "fpga":
-        scheduled = _lower_fpga(main, config)
-    else:
-        raise LoweringError(f"unknown target {target!r}; expected one of {TARGETS}")
+    structure = None
+    if memo is not None:
+        structure = memo.get(structural_key(config, target))
+    if structure is None:
+        structure = _structural_lower(main, config, target)
+        if memo is not None:
+            memo.put(structural_key(config, target), structure)
+    scheduled = _annotate(main, structure, config, target)
     scheduled.inlined = inlined
     for op in inlined:
         scheduled.primitives.append(f"inline {op.name}")
-    # Clean up the mechanically built index reconstructions so generated
-    # code and interpretation avoid no-op arithmetic.
-    from ..ir import simplify
-
-    scheduled.index_map = {
-        axis: simplify(expr) for axis, expr in scheduled.index_map.items()
-    }
     return scheduled
+
+
+def _structural_lower(op: ComputeOp, config: NodeConfig, target: str) -> LoweredStructure:
+    """Run the expensive half of lowering and freeze it for reuse."""
+    if target == "gpu":
+        loops, raw, recoveries, primitives, has_inner = _structural_gpu(op, config)
+    elif target == "cpu":
+        loops, raw, recoveries, primitives = _structural_cpu(op, config)
+        has_inner = len(loops) > 1
+    elif target == "fpga":
+        loops, raw, recoveries, primitives = _structural_fpga(op, config)
+        has_inner = False
+    else:
+        raise LoweringError(f"unknown target {target!r}; expected one of {TARGETS}")
+    # Fuse-recovery substitution and simplification (the cleanup that
+    # lets generated code and interpretation avoid no-op arithmetic) are
+    # deferred: the performance models never read the index map, so
+    # model-driven tuning skips that cost entirely.
+    index_map = LazyIndexMap(raw, recoveries)
+    return LoweredStructure(
+        loop_specs=tuple(
+            (loop.var, loop.extent, loop.role, loop.annotation) for loop in loops
+        ),
+        index_map=index_map,
+        primitives=tuple(primitives),
+        has_inner=has_inner,
+    )
+
+
+def _annotate(
+    op: ComputeOp, structure: LoweredStructure, config: NodeConfig, target: str
+) -> Scheduled:
+    """Apply the cheap, annotation-knob-dependent tail of lowering to a
+    fresh clone of the structural loop nest."""
+    loops = [
+        LoopDef(var, extent, role, annotation)
+        for var, extent, role, annotation in structure.loop_specs
+    ]
+    primitives = list(structure.primitives)
+    cached: Tuple = ()
+    if target == "gpu":
+        if config.vectorize and structure.has_inner and loops[-1].role[0] == "spatial":
+            loops[-1].annotation = VECTORIZE
+            primitives.append(f"vectorize {loops[-1].var.name}")
+        _mark_unroll(loops, config.unroll_depth)
+        if config.unroll_depth:
+            primitives.append(f"unroll depth {config.unroll_depth}")
+        cached = op.input_tensors if config.use_shared else ()
+        for tensor in cached:
+            primitives.append(f"cache {tensor.name} in shared memory")
+    elif target == "cpu":
+        if config.vectorize and len(loops) > 1:
+            loops[-1].annotation = VECTORIZE
+            primitives.append(f"vectorize {loops[-1].var.name}")
+        _mark_unroll(loops, config.unroll_depth)
+        if config.unroll_depth:
+            primitives.append(f"unroll depth {config.unroll_depth}")
+    else:  # fpga
+        primitives.append(f"pipeline stages {config.fpga_pipeline}")
+        primitives.append(f"partition factor {config.fpga_partition}")
+        primitives.append(f"buffer {config.fpga_buffer_lines} input lines")
+        _mark_unroll(loops, config.unroll_depth)
+        cached = tuple(op.input_tensors)  # BRAM line buffers
+    return Scheduled(
+        op=op,
+        target=target,
+        loops=loops,
+        index_map=structure.index_map.view(),
+        cached_tensors=tuple(cached),
+        primitives=primitives,
+        config=config,
+    )
 
 
 def _check_parts(config: NodeConfig, op: ComputeOp, spatial: int, reduce_: int) -> None:
@@ -127,20 +420,48 @@ def _check_parts(config: NodeConfig, op: ComputeOp, spatial: int, reduce_: int) 
 
 def _split_all(
     axes: Sequence[IterVar], factor_lists, kind: str, primitives: List[str]
-) -> Tuple[List[List[LoopDef]], Dict[IterVar, Expr]]:
+) -> Tuple[List[List[LoopDef]], Dict[IterVar, Tuple]]:
+    """Split every axis, recording index-map *recipes* instead of exprs.
+
+    Validation and loop construction match :func:`split_axis` exactly;
+    the index re-composition expression is deferred to
+    :class:`LazyIndexMap` (the models never read it).
+    """
     loops_per_axis: List[List[LoopDef]] = []
-    index_map: Dict[IterVar, Expr] = {}
+    split_specs: Dict[IterVar, Tuple] = {}
     for idx, (axis, factors) in enumerate(zip(axes, factor_lists)):
-        loops, index = split_axis(axis, factors, kind, idx)
+        product = 1
+        for f in factors:
+            product *= f
+        if product != axis.extent:
+            raise ValueError(
+                f"split factors {tuple(factors)} do not multiply to extent "
+                f"{axis.extent} of {axis.name}"
+            )
+        loops = [
+            LoopDef(Var(f"{axis.name}.{part}"), factor, (kind, idx, part))
+            for part, factor in enumerate(factors)
+        ]
         loops_per_axis.append(loops)
-        index_map[axis] = index
+        split_specs[axis] = tuple((loop.var, loop.extent) for loop in loops)
         primitives.append(f"split {axis.name}({axis.extent}) -> {tuple(factors)}")
-    return loops_per_axis, index_map
+    return loops_per_axis, split_specs
 
 
-def _apply_recovery(index_map: Dict[IterVar, Expr], recovery: Dict[Var, Expr]) -> None:
-    for axis, expr in index_map.items():
-        index_map[axis] = substitute_vars(expr, recovery)
+def _fuse_structural(loops: Sequence[LoopDef], name: str) -> Tuple[LoopDef, Tuple]:
+    """Fuse adjacent loops, deferring the div/mod recovery expressions.
+
+    The fused :class:`LoopDef` matches :func:`fuse_loops` exactly; the
+    recovery recipe is handed to :class:`LazyIndexMap`, which builds the
+    same ``(fused // trailing) % extent`` expressions on first read.
+    """
+    if not loops:
+        raise ValueError("cannot fuse zero loops")
+    total = 1
+    for loop in loops:
+        total *= loop.extent
+    fused = LoopDef(Var(name), total, tuple(l.role for l in loops))
+    return fused, (fused.var, tuple((l.var, l.extent) for l in loops))
 
 
 def _mark_unroll(loops: List[LoopDef], unroll_depth: int) -> None:
@@ -182,7 +503,7 @@ def _order_inner(
     raise LoweringError(f"unknown reorder choice {reorder}")
 
 
-def _lower_gpu(op: ComputeOp, config: NodeConfig) -> Scheduled:
+def _structural_gpu(op: ComputeOp, config: NodeConfig):
     _check_parts(config, op, GPU_SPATIAL_PARTS, GPU_REDUCE_PARTS)
     primitives: List[str] = []
     spatial_loops, index_map = _split_all(op.axes, config.spatial_factors, "spatial", primitives)
@@ -194,17 +515,18 @@ def _lower_gpu(op: ComputeOp, config: NodeConfig) -> Scheduled:
     thread_parts = [loops[2] for loops in spatial_loops]
     inner_parts = [loops[3] for loops in spatial_loops]
 
-    block_loop, recovery = fuse_loops(block_parts, f"{op.name}.blockIdx")
+    recoveries = []
+    block_loop, recovery = _fuse_structural(block_parts, f"{op.name}.blockIdx")
     block_loop.annotation = BLOCK_X
-    _apply_recovery(index_map, recovery)
+    recoveries.append(recovery)
     primitives.append(
         "fuse " + ", ".join(l.var.name for l in block_parts) + " -> blockIdx.x"
     )
     primitives.append("bind blockIdx.x")
 
-    thread_loop, recovery = fuse_loops(thread_parts, f"{op.name}.threadIdx")
+    thread_loop, recovery = _fuse_structural(thread_parts, f"{op.name}.threadIdx")
     thread_loop.annotation = THREAD_X
-    _apply_recovery(index_map, recovery)
+    recoveries.append(recovery)
     primitives.append(
         "fuse " + ", ".join(l.var.name for l in thread_parts) + " -> threadIdx.x"
     )
@@ -219,29 +541,10 @@ def _lower_gpu(op: ComputeOp, config: NodeConfig) -> Scheduled:
     primitives.append(f"reorder choice {config.reorder}")
 
     loops = [block_loop, thread_loop] + vthread_parts + inner
-    if config.vectorize and inner and loops[-1].role[0] == "spatial":
-        loops[-1].annotation = VECTORIZE
-        primitives.append(f"vectorize {loops[-1].var.name}")
-    _mark_unroll(loops, config.unroll_depth)
-    if config.unroll_depth:
-        primitives.append(f"unroll depth {config.unroll_depth}")
-
-    cached = op.input_tensors if config.use_shared else ()
-    for tensor in cached:
-        primitives.append(f"cache {tensor.name} in shared memory")
-
-    return Scheduled(
-        op=op,
-        target="gpu",
-        loops=loops,
-        index_map=index_map,
-        cached_tensors=tuple(cached),
-        primitives=primitives,
-        config=config,
-    )
+    return loops, index_map, recoveries, primitives, bool(inner)
 
 
-def _lower_cpu(op: ComputeOp, config: NodeConfig) -> Scheduled:
+def _structural_cpu(op: ComputeOp, config: NodeConfig):
     _check_parts(config, op, CPU_SPATIAL_PARTS, CPU_REDUCE_PARTS)
     if config.fuse_levels > len(op.axes):
         raise LoweringError(
@@ -256,9 +559,9 @@ def _lower_cpu(op: ComputeOp, config: NodeConfig) -> Scheduled:
     middle_parts = [loops[1] for loops in spatial_loops]
     inner_parts = [loops[2] for loops in spatial_loops]
 
-    fused_outer, recovery = fuse_loops(outer_parts[: config.fuse_levels], f"{op.name}.parallel")
+    fused_outer, recovery = _fuse_structural(outer_parts[: config.fuse_levels], f"{op.name}.parallel")
     fused_outer.annotation = PARALLEL
-    _apply_recovery(index_map, recovery)
+    recoveries = [recovery]
     primitives.append(
         "fuse "
         + ", ".join(l.var.name for l in outer_parts[: config.fuse_levels])
@@ -273,24 +576,10 @@ def _lower_cpu(op: ComputeOp, config: NodeConfig) -> Scheduled:
     primitives.append(f"reorder choice {config.reorder}")
 
     loops = [fused_outer] + remaining_outer + middle_parts + inner
-    if config.vectorize and len(loops) > 1:
-        loops[-1].annotation = VECTORIZE
-        primitives.append(f"vectorize {loops[-1].var.name}")
-    _mark_unroll(loops, config.unroll_depth)
-    if config.unroll_depth:
-        primitives.append(f"unroll depth {config.unroll_depth}")
-
-    return Scheduled(
-        op=op,
-        target="cpu",
-        loops=loops,
-        index_map=index_map,
-        primitives=primitives,
-        config=config,
-    )
+    return loops, index_map, recoveries, primitives
 
 
-def _lower_fpga(op: ComputeOp, config: NodeConfig) -> Scheduled:
+def _structural_fpga(op: ComputeOp, config: NodeConfig):
     _check_parts(config, op, FPGA_SPATIAL_PARTS, 1)
     primitives: List[str] = []
     spatial_loops, index_map = _split_all(op.axes, config.spatial_factors, "spatial", primitives)
@@ -301,24 +590,11 @@ def _lower_fpga(op: ComputeOp, config: NodeConfig) -> Scheduled:
 
     outer_parts = [loops[0] for loops in spatial_loops]
     pe_parts = [loops[1] for loops in spatial_loops]
-    pe_loop, recovery = fuse_loops(pe_parts, f"{op.name}.pe")
+    pe_loop, recovery = _fuse_structural(pe_parts, f"{op.name}.pe")
     pe_loop.annotation = PE_PARALLEL
-    _apply_recovery(index_map, recovery)
+    recoveries = [recovery]
     primitives.append("fuse " + ", ".join(l.var.name for l in pe_parts) + " -> PE")
-    primitives.append(f"pipeline stages {config.fpga_pipeline}")
-    primitives.append(f"partition factor {config.fpga_partition}")
-    primitives.append(f"buffer {config.fpga_buffer_lines} input lines")
 
     reduce_flat = [loops[0] for loops in reduce_loops]
     loops = outer_parts + [pe_loop] + reduce_flat
-    _mark_unroll(loops, config.unroll_depth)
-
-    return Scheduled(
-        op=op,
-        target="fpga",
-        loops=loops,
-        index_map=index_map,
-        cached_tensors=tuple(op.input_tensors),  # BRAM line buffers
-        primitives=primitives,
-        config=config,
-    )
+    return loops, index_map, recoveries, primitives

@@ -76,6 +76,25 @@ class ScheduleSpace:
         ]
         self._feature_size = sum(k.feature_size for k in self.knobs)
         self._canonical_rules = self._build_canonical_rules()
+        # Hot-path tables (ISSUE #7): every per-point query the explorers
+        # issue — neighbor moves, feature encodings, decoded configs — is a
+        # pure function of the point, so precompute the per-knob answers
+        # once and memoize the per-point ones.  The caches are capped and
+        # cleared wholesale so multi-workload sessions stay bounded.
+        self._direction_moves: List[List[Optional[int]]] = [
+            [knob.neighbor(c, local) for c in range(len(knob))]
+            for ki, local in self.directions
+            for knob in (self.knobs[ki],)
+        ]
+        self._knob_features: List[List[Tuple[float, ...]]] = [
+            [tuple(knob.features(c)) for c in range(len(knob))]
+            for knob in self.knobs
+        ]
+        self._neighbors_cache: dict = {}
+        self._features_cache: dict = {}
+        self._decode_cache: dict = {}
+
+    _CACHE_CAP = 8192
 
     def _build_canonical_rules(self):
         """Precompute the knob positions used by :meth:`canonical_point`.
@@ -171,8 +190,8 @@ class ScheduleSpace:
 
     def neighbor(self, point: Point, direction: int) -> Optional[Point]:
         """The adjacent point along a global direction, or None."""
-        ki, local = self.directions[direction]
-        moved = self.knobs[ki].neighbor(point[ki], local)
+        ki, _ = self.directions[direction]
+        moved = self._direction_moves[direction][point[ki]]
         if moved is None:
             return None
         replaced = list(point)
@@ -180,25 +199,63 @@ class ScheduleSpace:
         return tuple(replaced)
 
     def neighbors(self, point: Point) -> List[Tuple[int, Point]]:
-        """All (direction, neighbor) pairs reachable from ``point``."""
+        """All (direction, neighbor) pairs reachable from ``point``.
+
+        Memoized per point (callers only iterate the result).
+        """
+        key = tuple(point)
+        cached = self._neighbors_cache.get(key)
+        if cached is not None:
+            return cached
         result = []
-        for d in range(self.num_directions):
-            nb = self.neighbor(point, d)
-            if nb is not None:
-                result.append((d, nb))
+        for d, (ki, _) in enumerate(self.directions):
+            moved = self._direction_moves[d][point[ki]]
+            if moved is None:
+                continue
+            replaced = list(point)
+            replaced[ki] = moved
+            result.append((d, tuple(replaced)))
+        if len(self._neighbors_cache) >= self._CACHE_CAP:
+            self._neighbors_cache.clear()
+        self._neighbors_cache[key] = result
         return result
 
     def features(self, point: Point) -> np.ndarray:
-        """Numeric encoding of a point (Q-network / cost-model input)."""
+        """Numeric encoding of a point (Q-network / cost-model input).
+
+        Memoized per point (callers stack/read, never write; the cached
+        array is marked read-only to keep it that way).
+        """
+        key = tuple(point)
+        cached = self._features_cache.get(key)
+        if cached is not None:
+            return cached
         values: List[float] = []
-        for knob, choice in zip(self.knobs, point):
-            values.extend(knob.features(choice))
-        return np.asarray(values, dtype=np.float64)
+        for table, choice in zip(self._knob_features, point):
+            values.extend(table[choice])
+        encoded = np.asarray(values, dtype=np.float64)
+        encoded.flags.writeable = False
+        if len(self._features_cache) >= self._CACHE_CAP:
+            self._features_cache.clear()
+        self._features_cache[key] = encoded
+        return encoded
 
     # -- decoding ----------------------------------------------------------
 
     def decode(self, point: Point) -> NodeConfig:
-        """Turn a space point into a schedule configuration."""
+        """Turn a space point into a schedule configuration (memoized —
+        ``NodeConfig`` is immutable)."""
+        key = tuple(point)
+        cached = self._decode_cache.get(key)
+        if cached is not None:
+            return cached
+        config = self._decode(point)
+        if len(self._decode_cache) >= self._CACHE_CAP:
+            self._decode_cache.clear()
+        self._decode_cache[key] = config
+        return config
+
+    def _decode(self, point: Point) -> NodeConfig:
         values = {
             knob.name: knob.choices[choice]
             for knob, choice in zip(self.knobs, point)

@@ -1,0 +1,247 @@
+"""Golden parity suite for the vectorized hot path (ISSUE #7).
+
+Every fast path introduced by the per-point hot-path work must be
+*bit-identical* to the scalar code it replaces:
+
+* the array-compiled GBT (``repro.learn.gbt``) against the retained
+  scalar implementation in ``repro.learn.reference``;
+* ``batch_point_features`` against per-point ``point_features``;
+* memoized structural lowering against fresh lowering (index maps,
+  loops, primitives, and the numerics of interpretation and codegen);
+* the four tuners' trajectories with the fast paths on versus off.
+
+Equality discipline: predictions and features are compared with
+``np.array_equal`` (exact), fitted states with recursive ``==`` — which
+is exact for every float except that it identifies ``-0.0`` with
+``0.0``.  That one identification is deliberate: with mixed-sign zero
+*ties* in a feature column, ``np.quantile``'s internal partition may
+place ``-0.0``/``0.0`` in either order, so a threshold can differ in
+zero sign only.  A zero-sign flip never changes a comparison
+(``x <= -0.0`` iff ``x <= 0.0``), so splits, masks and predictions stay
+bit-identical either way.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import batch_point_features, point_features
+from repro.codegen.interp import execute_reference, execute_scheduled, random_inputs
+from repro.codegen.pycodegen import run_generated
+from repro.explore import (
+    FlexTensorTuner,
+    PMethodTuner,
+    RandomSampleTuner,
+    RandomWalkTuner,
+    SurrogateScreen,
+)
+from repro.learn import GradientBoostedTrees
+from repro.learn.reference import ReferenceGradientBoostedTrees
+from repro.model import V100
+from repro.ops import conv2d_compute, gemm_compute
+from repro.runtime import Evaluator
+from repro.schedule import lower
+from repro.space import build_space
+
+GBT_KWARGS = dict(num_rounds=8, max_depth=3, learning_rate=0.3)
+
+
+def states_equal(a, b):
+    """Recursive equality; float compares use ``==`` (see module doc)."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(states_equal(a[k], b[k]) for k in a)
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(states_equal(p, q) for p, q in zip(a, b))
+    return a == b
+
+
+def training_matrix(seed, ties, discrete):
+    """A small regression problem; optionally with tied / discrete
+    columns (the regimes where shortlist-vs-exact split scoring and
+    quantile interpolation have to agree on exact ties)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 120))
+    f = int(rng.integers(1, 40))
+    x = rng.normal(size=(n, f))
+    if ties:
+        x = np.round(x * 2) / 2  # coarse grid: many ties, mixed-sign zeros
+    if discrete and f > 2:
+        x[:, 0] = rng.integers(0, 3, size=n)
+        x[:, 1] = 1.0  # constant column: never splittable
+    y = rng.normal(size=n)
+    if ties:
+        y = np.round(y)
+    return x, y, rng.normal(size=(16, f))
+
+
+class TestGBTParity:
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    @given(st.integers(0, 10**6), st.booleans(), st.booleans())
+    def test_fit_and_predict_match_reference(self, seed, ties, discrete):
+        x, y, queries = training_matrix(seed, ties, discrete)
+        fast = GradientBoostedTrees(**GBT_KWARGS).fit(x, y)
+        slow = ReferenceGradientBoostedTrees(**GBT_KWARGS).fit(x, y)
+        assert states_equal(fast.get_state(), slow.get_state())
+        assert np.array_equal(fast.predict(queries), slow.predict(queries))
+        assert np.array_equal(fast.predict(x), slow.predict(x))
+
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(st.integers(0, 10**6), st.booleans())
+    def test_state_roundtrip_is_byte_exact(self, seed, ties):
+        x, y, queries = training_matrix(seed, ties, False)
+        fast = GradientBoostedTrees(**GBT_KWARGS).fit(x, y)
+        clone = GradientBoostedTrees(**GBT_KWARGS)
+        clone.set_state(json.loads(json.dumps(fast.get_state())))
+        assert json.dumps(clone.get_state(), sort_keys=True) == json.dumps(
+            fast.get_state(), sort_keys=True
+        )
+        # The restored ensemble walks the same compiled forest.
+        assert np.array_equal(clone.predict(queries), fast.predict(queries))
+
+    def test_mixed_sign_zero_ties_still_predict_identically(self):
+        # Regression: columns holding both -0.0 and 0.0 are the one case
+        # where fitted thresholds may differ from the reference in zero
+        # sign; predictions must not.
+        rng = np.random.default_rng(7)
+        x = np.round(rng.normal(size=(60, 6)) * 2) / 2
+        x[x == 0] = np.where(rng.random(np.count_nonzero(x == 0)) < 0.5, -0.0, 0.0)
+        y = rng.normal(size=60)
+        fast = GradientBoostedTrees(**GBT_KWARGS).fit(x, y)
+        slow = ReferenceGradientBoostedTrees(**GBT_KWARGS).fit(x, y)
+        assert states_equal(fast.get_state(), slow.get_state())
+        assert np.array_equal(fast.predict(x), slow.predict(x))
+
+    def test_unfitted_and_tiny_inputs(self):
+        fast = GradientBoostedTrees(**GBT_KWARGS)
+        slow = ReferenceGradientBoostedTrees(**GBT_KWARGS)
+        for x, y in (([[1.0]], [2.0]), ([[1.0], [1.0]], [2.0, 2.0])):
+            fast.fit(x, y)
+            slow.fit(x, y)
+            assert states_equal(fast.get_state(), slow.get_state())
+            assert np.array_equal(fast.predict(x), slow.predict(x))
+
+
+WORKLOADS = {
+    "gemm": lambda: gemm_compute(16, 16, 16, name="g"),
+    "conv2d": lambda: conv2d_compute(1, 8, 8, 8, 8, 3, padding=1, name="c"),
+}
+
+
+class TestBatchFeatureParity:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("target", ["gpu", "cpu", "fpga"])
+    def test_rows_match_point_features(self, workload, target):
+        space = build_space(WORKLOADS[workload](), target)
+        rng = np.random.default_rng(3)
+        points = [space.random_point(rng) for _ in range(12)]
+        batch = batch_point_features(space, points)
+        assert batch.shape[0] == len(points)
+        for row, point in zip(batch, points):
+            assert np.array_equal(row, point_features(space, point))
+
+
+class TestMemoizedLoweringParity:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("target", ["gpu", "cpu", "fpga"])
+    def test_memoized_equals_fresh(self, workload, target):
+        out = WORKLOADS[workload]()
+        space = build_space(out, target)
+        rng = np.random.default_rng(5)
+        from repro.schedule import LoweringMemo
+
+        memo = LoweringMemo()
+        for _ in range(10):
+            config = space.decode(space.random_point(rng))
+            memoized = lower(out, config, target, memo=memo)
+            fresh = lower(out, config, target)
+            assert str(dict(memoized.index_map)) == str(dict(fresh.index_map))
+            assert [
+                (l.var.name, l.extent, l.role, l.annotation) for l in memoized.loops
+            ] == [(l.var.name, l.extent, l.role, l.annotation) for l in fresh.loops]
+            assert memoized.primitives == fresh.primitives
+        assert memo.hits + memo.misses == 10
+
+    def test_interp_and_codegen_numerics_through_memo(self):
+        out = WORKLOADS["gemm"]()
+        space = build_space(out, "gpu")
+        rng = np.random.default_rng(11)
+        from repro.schedule import LoweringMemo
+
+        memo = LoweringMemo()
+        inputs = random_inputs(out, seed=0)
+        expected = execute_reference(out, inputs)
+        for _ in range(3):
+            config = space.decode(space.random_point(rng))
+            scheduled = lower(out, config, "gpu", memo=memo)
+            np.testing.assert_allclose(execute_scheduled(scheduled, inputs), expected)
+            np.testing.assert_allclose(run_generated(scheduled, inputs), expected)
+
+    def test_index_map_writes_do_not_leak_across_schedules(self):
+        # Scheduled objects built from one memoized structure share the
+        # lazy index map; a write through one must stay private to it.
+        out = WORKLOADS["gemm"]()
+        space = build_space(out, "gpu")
+        rng = np.random.default_rng(13)
+        from repro.ir import IntImm
+        from repro.schedule import LoweringMemo
+
+        memo = LoweringMemo()
+        config = space.decode(space.random_point(rng))
+        first = lower(out, config, "gpu", memo=memo)
+        second = lower(out, config, "gpu", memo=memo)
+        axis = first.op.axes[0]
+        before = str(second.index_map[axis])
+        corrupted = IntImm(0)
+        first.index_map[axis] = corrupted
+        assert first.index_map[axis] is corrupted
+        assert str(second.index_map[axis]) == before
+
+
+TUNERS = {
+    "q": FlexTensorTuner,
+    "p": PMethodTuner,
+    "random-walk": RandomWalkTuner,
+    "random-sample": RandomSampleTuner,
+}
+
+
+def run_tuner(tuner_cls, fast):
+    ev = Evaluator(WORKLOADS["gemm"](), V100, memoize_lowering=fast)
+    result = tuner_cls(ev, seed=0).tune(trials=3, num_seeds=3)
+    return (
+        result.best_performance,
+        result.num_measurements,
+        tuple(result.best_point) if result.best_point else None,
+    )
+
+
+class TestTunerTrajectoryParity:
+    @pytest.mark.parametrize("method", sorted(TUNERS))
+    def test_trajectory_unchanged_by_fast_path(self, method):
+        assert run_tuner(TUNERS[method], fast=True) == run_tuner(
+            TUNERS[method], fast=False
+        )
+
+    def test_surrogate_decisions_unchanged_by_batch_features(self):
+        ev = Evaluator(WORKLOADS["conv2d"](), V100)
+        rng = np.random.default_rng(17)
+        points = []
+        while len(points) < 28:
+            p = ev.space.random_point(rng)
+            if p not in points:
+                points.append(p)
+        arms = []
+        for batch_features in (True, False):
+            screen = SurrogateScreen(ev.space, min_train=8, seed=0)
+            screen.use_batch_features = batch_features
+            for p in points[:20]:
+                screen.observe(p, ev.evaluate(p))
+            decision = screen.screen(points[20:])
+            arms.append(
+                (decision.forward, decision.screened, decision.scores,
+                 json.dumps(screen.model.get_state(), sort_keys=True))
+            )
+        assert arms[0] == arms[1]
