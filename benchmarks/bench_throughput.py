@@ -31,7 +31,10 @@ the acceptance booleans:
   re-execution recovers simulated makespan versus speculation off, and
 * (ISSUE #7) the vectorized hot path sustains >= 10x the pre-vectorization
   ``points_per_wall_second`` with screening on and >= 2x with screening
-  off (baselines pinned in ``PRIOR_WALL`` below).
+  off (baselines pinned in ``PRIOR_WALL`` below), and
+* (ISSUE #8) tuning the int8 GEMM with the ``tensorize`` knob finds a
+  tensorized best schedule whose modeled GFLOPS strictly beats the same
+  search with the knob off.
 
 Each section reports the *actual* engine mode — ``serial``,
 ``fork-pool``, or ``in-process-fallback``.  On a single-core host the
@@ -56,10 +59,14 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.model import V100                              # noqa: E402
-from repro.ops import conv2d_compute, gemm_compute        # noqa: E402
+import numpy as np                                        # noqa: E402
+
+from repro.analysis import tensorize_rejections           # noqa: E402
+from repro.model import V100, XEON_E5_2699V4              # noqa: E402
+from repro.ops import conv2d_compute, gemm_compute, gemm_int8_compute  # noqa: E402
 from repro.optimize import optimize                       # noqa: E402
 from repro.runtime import ClusterConfig, NodeFaultInjector  # noqa: E402
+from repro.space import build_space                       # noqa: E402
 
 TRIALS = 8
 SEED = 0
@@ -68,6 +75,12 @@ POOL_WORKERS = 4
 # the budget screening gets to cut; ratio tuned for the smoke workloads.
 SCREEN_TRIALS = 20
 SCREEN_RATIO = 0.15
+# Intrinsic tensorization comparison (ISSUE #8): the int8 GEMM where the
+# dot4 VNNI intrinsic applies, on the Xeon model.  30 trials — at fewer
+# the Q-method's trajectory noise can drown the knob's signal.
+TENSORIZE_TRIALS = 30
+TENSORIZE_SHAPE = (256, 256, 256)
+TENSORIZE_SAMPLE = 200
 
 # Wall-rate baselines recorded by the last pre-vectorization run of this
 # bench (PR 6's BENCH_throughput.json, screening section, this container
@@ -344,6 +357,65 @@ def main(quick: bool = False) -> int:
             "speculation_makespan_recovery": spec_recovery,
         }
 
+    # Intrinsic tensorization (ISSUE #8): same trials and seed on the
+    # int8 GEMM, tensorize knob on vs off.  The knob-on search must end
+    # on a tensorized schedule with strictly higher modeled GFLOPS.
+    tensorize_ok = chosen_intrinsic = None
+    tensorize_on = tensorize_off = None
+    if not quick:
+        n, k, m = TENSORIZE_SHAPE
+        print(f"== intrinsic tensorization (int8 gemm {n}x{k}x{m}, cpu) ==")
+        tensorize_on = optimize(
+            gemm_int8_compute(n, k, m), XEON_E5_2699V4,
+            trials=TENSORIZE_TRIALS, method="q", seed=SEED, tensorize=True,
+        )
+        tensorize_off = optimize(
+            gemm_int8_compute(n, k, m), XEON_E5_2699V4,
+            trials=TENSORIZE_TRIALS, method="q", seed=SEED,
+        )
+        chosen_intrinsic = (
+            tensorize_on.config.tensorize if tensorize_on.config else ""
+        )
+        tensorize_ok = bool(
+            chosen_intrinsic and tensorize_on.gflops > tensorize_off.gflops
+        )
+        # Match rate: fraction of random points in the tensorized space
+        # that select an intrinsic and pass the TEN legality oracle.
+        space = build_space(gemm_int8_compute(n, k, m), "cpu", tensorize=True)
+        rng = np.random.default_rng(SEED)
+        sampled = [
+            space.decode(space.random_point(rng))
+            for _ in range(TENSORIZE_SAMPLE)
+        ]
+        selected = [c for c in sampled if c.tensorize]
+        legal = [
+            c for c in selected
+            if not tensorize_rejections(space.op, c, "cpu")
+        ]
+        match_rate = len(legal) / TENSORIZE_SAMPLE
+        print(
+            f"  tensorize on : {tensorize_on.gflops:6.1f} GFLOPS "
+            f"(intrinsic: {chosen_intrinsic or 'none'})"
+        )
+        print(f"  tensorize off: {tensorize_off.gflops:6.1f} GFLOPS")
+        print(
+            f"  match rate: {match_rate:.0%} of {TENSORIZE_SAMPLE} sampled "
+            f"points legally tensorized "
+            f"({len(selected) - len(legal)} selected-but-rejected)"
+        )
+        payload["tensorize"] = {
+            "workload": f"gemm_int8_{n}x{k}x{m}",
+            "device": XEON_E5_2699V4.name,
+            "trials": TENSORIZE_TRIALS,
+            "best_gflops_on": tensorize_on.gflops,
+            "best_gflops_off": tensorize_off.gflops,
+            "chosen_intrinsic": chosen_intrinsic,
+            "sampled_points": TENSORIZE_SAMPLE,
+            "points_selecting_intrinsic": len(selected),
+            "legal_match_rate": match_rate,
+            "tensorized_best_beats_knob_off": tensorize_ok,
+        }
+
     criteria = {
         "gemm_screened_best_ge_off_at_le_half_measurements":
             screening_ok["gemm_64x64x64"],
@@ -370,6 +442,9 @@ def main(quick: bool = False) -> int:
             "cluster_chaos_best_schedule_parity": chaos_parity,
             "cluster_speculation_makespan_recovery": spec_recovery,
             "cluster_speculation_recovers_makespan": spec_recovery > 1.0,
+            "tensorize_best_gflops": tensorize_on.gflops,
+            "tensorize_chosen_intrinsic": chosen_intrinsic,
+            "tensorize_best_beats_knob_off": tensorize_ok,
         })
     payload["criteria"] = criteria
 

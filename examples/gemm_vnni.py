@@ -1,0 +1,88 @@
+"""Intrinsic tensorization: tune a quantized GEMM onto the dot4 VNNI unit.
+
+Defines an int8xint8->int32 GEMM, shows the static IR matcher recognising
+the ``dot4_vnni`` intrinsic in its compute definition, tunes the schedule
+space once with the ``tensorize`` knob and once without, and verifies the
+tensorized lowering is bit-identical to the scalar interpreter.  Along the
+way a deliberately misaligned schedule demonstrates the proof-carrying TEN
+lint rules: every error diagnostic corresponds to a lowering rejection.
+
+Run:  python examples/gemm_vnni.py
+"""
+
+import numpy as np
+
+from repro import optimize
+from repro.analysis import (
+    INTRINSICS,
+    match_intrinsic,
+    matching_intrinsics,
+    tensorize_rejections,
+)
+from repro.codegen import execute_scheduled, run_generated
+from repro.ir import format_operation
+from repro.model import XEON_E5_2699V4
+from repro.ops import gemm_int8_compute, gemm_int8_reference
+from repro.schedule import LoweringError, NodeConfig, lower
+from repro.space import build_space
+
+
+def main():
+    # 1. Describe the computation (math only): int8 inputs, int32 accumulator.
+    out = gemm_int8_compute(256, 256, 256)
+    print("== computation ==")
+    print(format_operation(out.op))
+
+    # 2. Static matching: which intrinsics unify with this definition?
+    names = matching_intrinsics(out.op, "cpu")
+    print(f"\n== intrinsic match ==\ncpu candidates: {names}")
+    result = match_intrinsic(out.op, INTRINSICS["dot4_vnni"])
+    binding = ", ".join(f"{p.name}->{a.name}" for p, a in result.axis_pairs)
+    print(f"dot4_vnni axis binding: {binding}")
+
+    # 3. Tune with the tensorize knob on and off.  The knob only exists
+    #    when requested, so existing searches are untouched.
+    with_t = optimize(out, XEON_E5_2699V4, trials=30, seed=0, tensorize=True)
+    without = optimize(out, XEON_E5_2699V4, trials=30, seed=0)
+    print("\n== tuning (30 trials, Q-method, seed 0) ==")
+    print(f"tensorize on : {with_t.gflops:8.1f} GFLOPS "
+          f"(intrinsic: {with_t.config.tensorize or 'none'})")
+    print(f"tensorize off: {without.gflops:8.1f} GFLOPS")
+
+    # 4. Legality is proof-carrying: a TEN error diagnostic if and only if
+    #    lowering rejects the point.  Here the reduce tile (k=6) is not a
+    #    multiple of the dot4 lane count (4) -> TEN002, and lower() raises.
+    small = gemm_int8_compute(8, 12, 8)
+    bad = NodeConfig(spatial_factors=((1, 2, 4), (1, 2, 4)),
+                     reduce_factors=((2, 6),), reorder=0,
+                     vectorize=False, tensorize="dot4_vnni")
+    rejections = tensorize_rejections(small.op, bad, "cpu")
+    print("\n== proof-carrying rejection ==")
+    for rule, message, _hint in rejections:
+        print(f"{rule}: {message}")
+    try:
+        lower(small, bad, "cpu")
+    except LoweringError as exc:
+        print(f"lower() agrees: {exc}")
+
+    # 5. Parity: an accepted tensorization computes bit-identically to the
+    #    scalar interpreter and to the generated Python kernel.
+    good = NodeConfig(spatial_factors=((1, 2, 4), (1, 2, 4)),
+                      reduce_factors=((3, 4),), reorder=0,
+                      vectorize=False, tensorize="dot4_vnni")
+    space = build_space(small, "cpu", tensorize=True)
+    scheduled = lower(small, space.decode(space.encode(good)), "cpu")
+    rng = np.random.default_rng(0)
+    a = rng.integers(-128, 128, size=(8, 12), dtype=np.int8)
+    b = rng.integers(-128, 128, size=(12, 8), dtype=np.int8)
+    inputs = {"gemm_i8_A": a, "gemm_i8_B": b}
+    expected = gemm_int8_reference(a, b)
+    interp = execute_scheduled(scheduled, inputs)
+    compiled = run_generated(scheduled, inputs)
+    assert np.array_equal(interp, expected), "interpreter diverged!"
+    assert np.array_equal(compiled, expected), "generated kernel diverged!"
+    print("\ntensorized parity on a small instance: OK (bit-exact)")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,9 @@ Examples::
     python -m repro gemm --surrogate --screen-ratio 0.15
     python -m repro gemm --workers 4 --cluster --straggler-pct 90
     python -m repro lint --device V100 --sample 400
+    python -m repro lint --target cpu --sample 200
+    python -m repro gemm --tensorize --device XeonE5-2699v4
+    python -m repro selfcheck --tensorize
     python -m repro selfcheck --faults
     python -m repro selfcheck --parallel
     python -m repro selfcheck --lint
@@ -36,7 +39,7 @@ import sys
 
 from . import optimize
 from .model import DEVICES
-from .ops import conv2d_compute, gemm_compute, gemv_compute
+from .ops import conv2d_compute, gemm_compute, gemm_int8_compute, gemv_compute
 from .runtime import FaultInjector, MeasureConfig
 from .utils import save_schedule
 
@@ -134,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sample", type=int, default=400,
                         help="lint only: random points sampled per schedule "
                              "space")
+    parser.add_argument("--target", default=None,
+                        choices=["gpu", "cpu", "fpga"],
+                        help="lint only: lint for this device family "
+                             "(overrides --device with the family's "
+                             "reference device)")
+    parser.add_argument("--tensorize", action="store_true",
+                        help="tune: add the tensorize knob when a registered "
+                             "intrinsic matches the computation; selfcheck: "
+                             "run the gemm-int8 match-and-parity smoke")
     parser.add_argument("--lint-records", action="store_true",
                         help="lint only: print every diagnostic, not just "
                              "the per-rule summary")
@@ -165,9 +177,20 @@ def build_operator(args):
     return gemv_compute(args.n, args.k)
 
 
+#: Reference device of each lowering target for ``lint --target``.
+_TARGET_DEVICE = {"gpu": "V100", "cpu": "XeonE5-2699v4", "fpga": "VU9P"}
+
+
 def lint_command(args) -> int:
     """Lint random samples of the gemm and conv2d schedule spaces for the
-    chosen device and print per-rule diagnostic counts (see docs/lint.md)."""
+    chosen device and print per-rule diagnostic counts (see docs/lint.md).
+
+    ``--target`` lints a device family instead of a named device; with it,
+    on cpu and gpu, the sample also covers a tensorize-enabled int8 gemm
+    space so the TEN rules (docs/tensorize.md) are exercised.  (Without
+    ``--target`` the workload list is unchanged, keeping default output
+    stable for existing scripts.)
+    """
     import numpy as np
 
     from .analysis import RULES, ScheduleLinter
@@ -175,19 +198,25 @@ def lint_command(args) -> int:
     from .space import build_space
 
     device = DEVICES[args.device]
+    if args.target is not None and target_of(device) != args.target:
+        device = DEVICES[_TARGET_DEVICE[args.target]]
     target = target_of(device)
     padding = args.padding if args.padding is not None else args.kernel // 2
     workloads = [
-        ("gemm", gemm_compute(args.n, args.k, args.m)),
+        ("gemm", gemm_compute(args.n, args.k, args.m), False),
         ("conv2d", conv2d_compute(
             args.batch, args.in_channel, args.size, args.size,
             args.out_channel, args.kernel, stride=args.stride, padding=padding,
-        )),
+        ), False),
     ]
+    if args.target in ("cpu", "gpu"):
+        workloads.append(
+            ("gemm-int8", gemm_int8_compute(args.n, args.k, args.m), True)
+        )
     rng = np.random.default_rng(args.seed)
     total_illegal = 0
-    for name, output in workloads:
-        space = build_space(output, target)
+    for name, output, tensorize in workloads:
+        space = build_space(output, target, tensorize=tensorize)
         linter = ScheduleLinter(space.op, target, device)
         sample = min(args.sample, space.size)
         counts: dict = {}
@@ -259,6 +288,7 @@ def lint_smoke(args) -> int:
     lint_paths = [
         "src/repro/analysis", "src/repro/schedule",
         "src/repro/learn", "src/repro/explore/surrogate.py",
+        "src/repro/ir", "src/repro/model",
     ]
     for tool, cmd in (
         ("ruff", ["ruff", "check", *lint_paths]),
@@ -274,6 +304,90 @@ def lint_smoke(args) -> int:
             return 1
     print("lint selfcheck " + ("passed" if unsound == 0 else "FAILED"))
     return 1 if unsound else 0
+
+
+def tensorize_smoke(args) -> int:
+    """``selfcheck --tensorize``: the intrinsic tensorization smoke.
+
+    1. ``dot4_vnni`` statically matches int8 gemm on cpu;
+    2. an accepted tensorization executes bit-identically to the same
+       schedule without the intrinsic (interpreter and generated kernel);
+    3. over sampled tensorized configs, every TEN rejection is a lowering
+       failure and every acceptance lowers — the proof-carrying contract;
+    4. the model bills a legal tensorization strictly cheaper than the
+       identical scalar schedule.
+    """
+    import numpy as np
+
+    from .analysis import matching_intrinsics, tensorize_rejections
+    from .codegen import execute_scheduled, random_inputs, run_generated
+    from .model import XEON_E5_2699V4, model_for
+    from .schedule import LoweringError, NodeConfig, lower
+    from .space import build_space
+
+    failures = 0
+    output = gemm_int8_compute(64, 64, 64, name="tz_smoke")
+    matched = matching_intrinsics(output.op, "cpu")
+    ok = matched == ("dot4_vnni",)
+    print(f"{'match':>13}: {'ok' if ok else 'FAILED'}  "
+          f"matching_intrinsics(gemm-int8, cpu) = {matched}")
+    failures += not ok
+
+    small = gemm_int8_compute(8, 8, 8, name="tz_parity")
+    config = NodeConfig(
+        spatial_factors=((1, 2, 4), (1, 2, 4)), reduce_factors=((2, 4),),
+        reorder=0, vectorize=False, tensorize="dot4_vnni",
+    )
+    tensorized = lower(small, config, "cpu")
+    plain = lower(small, config.with_(tensorize=""), "cpu")
+    inputs = {
+        name: np.round(8 * array)
+        for name, array in random_inputs(small, seed=args.seed).items()
+    }
+    expected = execute_scheduled(plain, inputs)
+    parity = (
+        np.array_equal(execute_scheduled(tensorized, inputs), expected)
+        and np.array_equal(run_generated(tensorized, inputs), expected)
+    )
+    print(f"{'parity':>13}: {'ok' if parity else 'FAILED'}  "
+          "(interpreter + generated kernel, bit-exact)")
+    failures += not parity
+
+    space = build_space(output, "cpu", tensorize=True)
+    rng = np.random.default_rng(args.seed)
+    accepted = rejected = broken = 0
+    for _ in range(120):
+        cfg = space.decode(space.random_point(rng)).with_(tensorize="dot4_vnni")
+        rejections = tensorize_rejections(output.op, cfg, "cpu")
+        try:
+            lower(output, cfg, "cpu")
+            lowered = True
+        except LoweringError:
+            lowered = False
+        rejected += bool(rejections)
+        accepted += not rejections
+        broken += lowered == bool(rejections)
+    print(f"{'proofs':>13}: {'ok' if broken == 0 else f'FAILED x{broken}'}  "
+          f"({accepted} accepted, {rejected} rejected of 120 sampled)")
+    failures += broken > 0
+
+    model = model_for(XEON_E5_2699V4)
+    billing_cfg = NodeConfig(
+        spatial_factors=((8, 4, 2), (8, 4, 2)), reduce_factors=((16, 4),),
+        reorder=0, vectorize=False, fuse_levels=2,
+    )
+    scalar_s = model.estimate_seconds(lower(output, billing_cfg, "cpu"))
+    tz_s = model.estimate_seconds(
+        lower(output, billing_cfg.with_(tensorize="dot4_vnni"), "cpu")
+    )
+    ok = tz_s < scalar_s
+    print(f"{'billing':>13}: {'ok' if ok else 'FAILED'}  "
+          f"({scalar_s * 1e6:.1f} us scalar vs {tz_s * 1e6:.1f} us tensorized)")
+    failures += not ok
+
+    print("tensorize selfcheck "
+          + ("passed" if failures == 0 else f"FAILED ({failures})"))
+    return 1 if failures else 0
 
 
 def surrogate_smoke(args) -> int:
@@ -642,6 +756,8 @@ def main(argv=None) -> int:
     if args.operator == "selfcheck":
         if args.lint:
             return lint_smoke(args)
+        if args.tensorize:
+            return tensorize_smoke(args)
         if args.surrogate:
             return surrogate_smoke(args)
         if args.cluster:
@@ -658,6 +774,7 @@ def main(argv=None) -> int:
         lint=args.lint, prune_space=args.prune_space,
         surrogate=args.surrogate, screen_ratio=args.screen_ratio,
         cluster=args.cluster, straggler_pct=args.straggler_pct,
+        tensorize=args.tensorize,
     )
     print(result.summary())
     print()

@@ -1,6 +1,8 @@
-"""Front-end static analysis (§4.1) and the static schedule linter."""
+"""Front-end static analysis (§4.1), the static schedule linter and the
+intrinsic tensorization matcher."""
 
 from .info import AnalysisResult, StatisticalInfo, StructuralInfo
+from .intrin import INTRINSICS, IntrinsicSpec, intrinsic_feature
 from .lint import (
     RULES,
     Diagnostic,
@@ -8,18 +10,35 @@ from .lint import (
     lint_config,
     lint_point,
 )
+from .match import (
+    MatchResult,
+    covered_inner_roles,
+    inner_role_order,
+    match_intrinsic,
+    matching_intrinsics,
+    tensorize_rejections,
+)
 from .static_analyzer import analyze, arithmetic_intensity, operation_flops
 
 __all__ = [
     "AnalysisResult",
     "Diagnostic",
+    "INTRINSICS",
+    "IntrinsicSpec",
+    "MatchResult",
     "RULES",
     "ScheduleLinter",
     "StatisticalInfo",
     "StructuralInfo",
     "analyze",
     "arithmetic_intensity",
+    "covered_inner_roles",
+    "inner_role_order",
+    "intrinsic_feature",
     "lint_config",
     "lint_point",
+    "match_intrinsic",
+    "matching_intrinsics",
     "operation_flops",
+    "tensorize_rejections",
 ]

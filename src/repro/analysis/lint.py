@@ -75,6 +75,18 @@ RULES: Dict[str, Tuple[str, str, str]] = {
                 "line buffers exceed the BRAM budget"),
     "FPGA003": ("partition-clamped", WARN,
                 "memory partition factor exceeds the device banks"),
+    "TEN001": ("no-intrinsic-match", ERROR,
+               "the op/target does not statically instantiate the named "
+               "intrinsic (pattern, dtype, stride or extent mismatch)"),
+    "TEN002": ("tile-misaligned", ERROR,
+               "a covered loop's inner split factor is not a multiple of "
+               "the intrinsic tile extent"),
+    "TEN003": ("not-innermost", ERROR,
+               "the reorder choice does not keep the intrinsic's covered "
+               "loops contiguous and innermost"),
+    "TEN004": ("dead-vectorize-under-tensorize", WARN,
+               "vectorize has no effect when the intrinsic subsumes the "
+               "innermost lanes"),
 }
 
 
@@ -265,6 +277,7 @@ class ScheduleLinter:
                 diagnostics.extend(self._cpu_rules(config))
             else:
                 diagnostics.extend(self._fpga_rules(config))
+            diagnostics.extend(self._tensorize_rules(config))
             diagnostics.extend(self._dead_knobs(config))
         diagnostics = [d for d in diagnostics if d.rule not in self.ignore]
         diagnostics.sort(key=lambda d: (d.severity != ERROR, d.rule))
@@ -437,6 +450,33 @@ class ScheduleLinter:
                 f"partition factor {config.fpga_partition} exceeds the "
                 f"{spec.max_partitions} banks of {spec.name} (clamped)",
                 f"use a partition factor <= {spec.max_partitions}",
+            ))
+        return found
+
+    def _tensorize_rules(self, config: NodeConfig) -> List[Diagnostic]:
+        """TEN001-TEN004: intrinsic tensorization legality.
+
+        The error rules delegate verbatim to
+        :func:`repro.analysis.match.tensorize_rejections` — the same
+        oracle ``schedule.lower`` raises on — so every TEN error is a
+        proof the point cannot lower (the PR 3 soundness contract).
+        """
+        if not getattr(config, "tensorize", ""):
+            return []
+        from .match import tensorize_rejections
+
+        found = [
+            Diagnostic(rule=rule, severity=RULES[rule][1], message=message,
+                       hint=hint)
+            for rule, message, hint in
+            tensorize_rejections(self.op, config, self.target)
+        ]
+        if not found and config.vectorize:
+            found.append(_diag(
+                "TEN004",
+                f"vectorize is dead: {config.tensorize} replaces the "
+                "innermost loops with one intrinsic call",
+                "disable vectorize when tensorizing",
             ))
         return found
 

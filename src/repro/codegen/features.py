@@ -323,6 +323,13 @@ def point_features(space, point) -> np.ndarray:
     values.append(1.0 if config.use_shared else 0.0)
     values.append(float(config.fuse_levels))
     values.extend(1.0 if config.reorder == choice else 0.0 for choice in (0, 1, 2))
+    # Only spaces that actually expose the tensorize knob get the feature:
+    # appending a constant 0.0 to every existing space would shift GBT
+    # splits and perturb pinned trajectories for no information.
+    if any(k.name == "tensorize" for k in getattr(space, "knobs", ())):
+        from ..analysis.intrin import intrinsic_feature
+
+        values.append(intrinsic_feature(config.tensorize))
 
     innermost = op.axes[-1] if op.axes else None
     for tensor in read_tensors(op):
@@ -421,6 +428,12 @@ class _BatchFeaturePlan:
                 [1.0, 0.0, 0.0],
             ),
         ]
+        if "tensorize" in names:
+            from ..analysis.intrin import intrinsic_feature
+
+            self.annotation_tables.append(
+                choice_table("tensorize", lambda v: [intrinsic_feature(v)], [0.0])
+            )
         # Tensor block: affine structure and per-tensor constants.
         axes = list(op.all_axes)
         innermost = op.axes[-1] if op.axes else None

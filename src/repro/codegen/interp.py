@@ -6,7 +6,11 @@ bodies — so semantic preservation of every schedule transformation is
 directly testable against the numpy references in ``repro.ops``.
 
 Annotations (parallel, vectorize, bind) do not change semantics; they are
-executed as ordinary serial loops.
+executed as ordinary serial loops.  Tensorized loops are executed as one
+"intrinsic call" per outer-loop point: all lane values of the covered
+innermost loops are gathered first, then folded into the output in the
+same order the scalar loops would have used, so an accepted tensorization
+is bit-identical to the untensorized schedule.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from ..ir import (
     Tensor,
     evaluate,
 )
-from ..schedule import Scheduled
+from ..schedule import Scheduled, TENSORIZE
 
 
 class _InlineReader:
@@ -131,13 +135,8 @@ def execute_scheduled(
     ranges = [range(loop.extent) for loop in scheduled.loops]
     spatial_axes = op.axes
     index_map = scheduled.index_map
-    for point in itertools.product(*ranges):
-        env = dict(zip(loop_vars, point))
-        axis_env = {
-            axis: evaluate(expr, env) for axis, expr in index_map.items()
-        }
-        idx = tuple(axis_env[a] for a in spatial_axes)
-        value = evaluate(inner_body, axis_env, space)
+
+    def store(idx, value):
         if is_reduce:
             if body.combiner == "sum":
                 out[idx] += value
@@ -145,7 +144,47 @@ def execute_scheduled(
                 out[idx] = max(out[idx], value)
         else:
             out[idx] = value
+
+    split = _tensorized_split(scheduled)
+    if split is None:
+        for point in itertools.product(*ranges):
+            env = dict(zip(loop_vars, point))
+            axis_env = {
+                axis: evaluate(expr, env) for axis, expr in index_map.items()
+            }
+            store(tuple(axis_env[a] for a in spatial_axes),
+                  evaluate(inner_body, axis_env, space))
+        return out
+
+    # Tensorized path: the covered innermost loops become one intrinsic
+    # call per outer point — gather every lane's value, then fold the
+    # batch in the exact order the scalar loops would have used.
+    for opoint in itertools.product(*ranges[:split]):
+        env = dict(zip(loop_vars[:split], opoint))
+        lanes = []
+        for ipoint in itertools.product(*ranges[split:]):
+            env.update(zip(loop_vars[split:], ipoint))
+            axis_env = {
+                axis: evaluate(expr, env) for axis, expr in index_map.items()
+            }
+            lanes.append((tuple(axis_env[a] for a in spatial_axes),
+                          evaluate(inner_body, axis_env, space)))
+        for idx, value in lanes:
+            store(idx, value)
     return out
+
+
+def _tensorized_split(scheduled: Scheduled) -> Optional[int]:
+    """Index of the first tensorize-annotated loop, or ``None``.
+
+    Lowering only marks a contiguous innermost suffix (TEN003 rejects
+    anything else), so one split point captures the whole intrinsic.
+    """
+    marks = [
+        i for i, loop in enumerate(scheduled.loops)
+        if loop.annotation == TENSORIZE
+    ]
+    return min(marks) if marks else None
 
 
 def _bind_inputs(graph, inputs: Dict[str, np.ndarray]) -> Dict[Tensor, np.ndarray]:

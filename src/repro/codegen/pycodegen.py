@@ -37,7 +37,17 @@ from ..ir import (
     TensorRef,
     Var,
 )
-from ..schedule import BLOCK_X, PARALLEL, PE_PARALLEL, Scheduled, THREAD_X, UNROLL, VECTORIZE, VTHREAD
+from ..schedule import (
+    BLOCK_X,
+    PARALLEL,
+    PE_PARALLEL,
+    Scheduled,
+    TENSORIZE,
+    THREAD_X,
+    UNROLL,
+    VECTORIZE,
+    VTHREAD,
+)
 
 _ANNOTATION_COMMENT = {
     BLOCK_X: "bind blockIdx.x",
@@ -47,6 +57,7 @@ _ANNOTATION_COMMENT = {
     VECTORIZE: "vectorize",
     UNROLL: "unroll",
     PE_PARALLEL: "PE array",
+    TENSORIZE: "tensorize intrinsic",
 }
 
 

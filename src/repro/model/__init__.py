@@ -4,7 +4,7 @@ from .base import INVALID_TIME, InvalidSchedule, PerformanceModel
 from .cpu import CpuModel
 from .fpga import FpgaModel
 from .gpu import GpuModel
-from .resources import FpgaResourceReport, fpga_resource_report
+from .resources import FpgaResourceReport, fpga_resource_report, tensorize_rate
 from .specs import (
     CpuSpec,
     DEVICES,
@@ -34,4 +34,5 @@ __all__ = [
     "CpuModel", "CpuSpec", "DEVICES", "FpgaModel", "FpgaSpec", "GpuModel",
     "FpgaResourceReport", "fpga_resource_report", "GpuSpec", "INVALID_TIME", "InvalidSchedule", "P100", "PerformanceModel",
     "TITAN_X", "V100", "VU9P", "XEON_E5_2699V4", "model_for", "target_of",
+    "tensorize_rate",
 ]

@@ -25,6 +25,7 @@ from ..schedule import (
     VECTORIZE,
 )
 from .base import INVALID_TIME, PerformanceModel
+from .resources import tensorize_rate
 from .specs import CpuSpec
 
 _DTYPE_BYTES = 4
@@ -80,6 +81,11 @@ class CpuModel(PerformanceModel):
                 axis = op.axes[axis_idx]
             stride_penalty = self._gather_penalty(op, axis)
             vector_eff = utilization * stride_penalty
+        if getattr(config, "tensorize", ""):
+            # The intrinsic replaces the innermost loops outright: bill its
+            # rate relative to full-width fp32 SIMD (dot4 VNNI packs 4 int8
+            # MACs per lane, so the rate can exceed 1.0).
+            vector_eff = tensorize_rate(config, spec)
 
         unroll_boost = 1.0 + (0.08 if config.unroll_depth else 0.0)
         # Register blocking quality: the innermost tile should fill the FMA

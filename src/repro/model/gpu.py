@@ -36,6 +36,7 @@ from ..schedule import (
     VECTORIZE,
 )
 from .base import INVALID_TIME, PerformanceModel
+from .resources import tensorize_rate
 from .specs import GpuSpec
 
 _REORDER_EFFICIENCY = {
@@ -128,6 +129,8 @@ class GpuModel(PerformanceModel):
             / spill_penalty
         )
         compute_time = flops / (spec.peak_gflops * 1e9 * max(efficiency, 1e-4))
+        # Tensorized inner loops run on the mma units at their own rate.
+        compute_time /= tensorize_rate(config, spec)
 
         # Memory term.
         thread_axis, run_threads = self._fastest_thread_axis(scheduled)

@@ -1,9 +1,11 @@
-"""FPGA resource reporting — the utilization summary an HLS flow prints.
+"""Accelerator resource accounting.
 
-The §5.2 model bounds schedules by DSP and BRAM budgets;
+Two concerns live here: FPGA utilization reporting (the summary an HLS
+flow prints — the §5.2 model bounds schedules by DSP and BRAM budgets;
 :func:`fpga_resource_report` exposes the same accounting as a structured
-report so users (and the FPGA benchmark) can see *why* a configuration is
-legal or rejected, the way a synthesis report would.
+report so users and the FPGA benchmark can see *why* a configuration is
+legal or rejected), and :func:`tensorize_rate`, the shared throughput
+multiplier the CPU and GPU models bill for a tensorized schedule.
 """
 
 from __future__ import annotations
@@ -14,6 +16,28 @@ from typing import Dict
 from ..codegen import tile_footprint
 from ..schedule import Scheduled
 from .specs import FpgaSpec
+
+
+def tensorize_rate(config, spec) -> float:
+    """Throughput multiplier of the intrinsic a config tensorizes with.
+
+    Returns 1.0 for untensorized configs.  Lowering raises on any illegal
+    tensorization before a model ever sees the schedule, so the rate only
+    prices *accepted* matches; GPU intrinsics additionally scale by the
+    device's tensor-core rate (mma units run far above the fp32 pipes).
+    """
+    name = getattr(config, "tensorize", "")
+    if not name:
+        return 1.0
+    from ..analysis.intrin import INTRINSICS
+
+    intrin = INTRINSICS.get(name)
+    if intrin is None:
+        return 1.0
+    rate = intrin.rate
+    if intrin.target == "gpu":
+        rate *= getattr(spec, "tensor_core_rate", 1.0)
+    return rate
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ class GpuSpec:
     kernel_launch_us: float = 5.0
     compile_seconds: float = 0.8  # simulated TVM build time per candidate
     run_repeats: int = 5          # timed executions per measurement
+    tensor_core_rate: float = 1.0  # mma throughput relative to fp32 peak
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,7 @@ V100 = GpuSpec(
     peak_gflops=15700.0,
     bandwidth_gbs=900.0,
     shared_mem_per_sm=96 * 1024,
+    tensor_core_rate=8.0,  # 125 TFLOPS tensor cores vs 15.7 fp32
 )
 
 P100 = GpuSpec(

@@ -25,6 +25,8 @@ from .linalg import (
     bilinear_compute,
     bilinear_reference,
     gemm_compute,
+    gemm_int8_compute,
+    gemm_int8_reference,
     gemm_reference,
     gemv_compute,
     gemv_reference,
@@ -82,7 +84,8 @@ __all__ = [
     "conv2d_transposed_compute", "conv2d_transposed_reference",
     "conv3d_compute", "conv3d_reference", "conv3d_transposed_compute",
     "conv3d_transposed_reference", "conv_out_size", "depthwise_conv2d_compute",
-    "depthwise_conv2d_reference", "dilate", "gemm_compute", "gemm_reference",
+    "depthwise_conv2d_reference", "dilate", "gemm_compute",
+    "gemm_int8_compute", "gemm_int8_reference", "gemm_reference",
     "gemv_compute", "gemv_reference", "overfeat_layers", "pad_nd",
     "shift_compute", "shift_reference", "shift_workloads",
     "transposed_out_size", "yolo_conv2d_workload", "yolo_t2d_workload",

@@ -40,6 +40,26 @@ def gemm_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return a @ b
 
 
+def gemm_int8_compute(n: int, k: int, m: int, name: str = "gemm_i8") -> Tensor:
+    """Quantized GEMM: int8 inputs accumulated into int32.
+
+    Same loop nest as :func:`gemm_compute`; the dtypes are what make the
+    ``dot4_vnni`` intrinsic (``repro.analysis.INTRINSICS``) applicable.
+    """
+    a = placeholder((n, k), dtype="int8", name=f"{name}_A")
+    b = placeholder((k, m), dtype="int8", name=f"{name}_B")
+    rk = reduce_axis(k, "rk")
+    return compute(
+        (n, m), lambda i, j: sum_reduce(a[i, rk] * b[rk, j], rk),
+        dtype="int32", name=name,
+    )
+
+
+def gemm_int8_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Numpy ground truth for :func:`gemm_int8_compute`."""
+    return a.astype(np.int32) @ b.astype(np.int32)
+
+
 def bilinear_compute(n: int, k: int, l: int, m: int, name: str = "bilinear") -> Tensor:
     """Bilinear: ``O_{i,j} = A_{i,k} ∘ B_{j,k,l} ∘ C_{i,l}``."""
     a = placeholder((n, k), name=f"{name}_A")

@@ -213,6 +213,7 @@ def optimize(
     cluster=False,
     node_faults: Optional[NodeFaultInjector] = None,
     straggler_pct: Optional[float] = None,
+    tensorize: bool = False,
 ) -> OptimizeResult:
     """Optimize one tensor computation for one device (Algorithm 1).
 
@@ -282,13 +283,21 @@ def optimize(
         straggler_pct: percentile of recent lease durations beyond which
             a running lease is speculatively re-executed (default from
             :class:`ClusterConfig`; only meaningful with ``cluster``).
+        tensorize: add the ``tensorize`` knob to the space when any
+            registered intrinsic (``repro.analysis.INTRINSICS``)
+            statically matches the computation's innermost loops — the
+            search then chooses between scalar/vectorized code and the
+            intrinsic.  Off by default so existing spaces (and seeded
+            trajectories over them) stay bit-identical —
+            ``docs/tensorize.md``.
     """
     graph = output if isinstance(output, MiniGraph) else get_graph(output)
     # Front-end: static analysis + schedule space (pruned + rearranged).
     analysis = analyze(graph)
     target = target_of(device_spec)
     space = space or build_space(
-        graph, target, spec=device_spec if prune_space else None
+        graph, target, spec=device_spec if prune_space else None,
+        tensorize=tensorize,
     )
     graph_config = graph_config or GraphConfig()
 

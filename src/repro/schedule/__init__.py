@@ -17,6 +17,7 @@ from .loopnest import (
     PE_PARALLEL,
     SERIAL,
     Scheduled,
+    TENSORIZE,
     THREAD_X,
     UNROLL,
     VECTORIZE,
@@ -47,7 +48,8 @@ __all__ = [
     "LoweringMemo", "NodeConfig", "PARALLEL",
     "PE_PARALLEL", "REORDER_CHOICES", "REORDER_INTERLEAVED",
     "REORDER_REDUCE_INNER", "REORDER_SPATIAL_INNER", "SERIAL", "Scheduled",
-    "TARGETS", "THREAD_X", "UNROLL", "UNROLL_CHOICES", "VECTORIZE", "VTHREAD",
+    "TARGETS", "TENSORIZE", "THREAD_X", "UNROLL", "UNROLL_CHOICES",
+    "VECTORIZE", "VTHREAD",
     "fuse_loops", "lower", "split_axis", "structural_key", "substitute_vars",
     "ScheduleValidationError", "quick_report", "validate_schedule",
 ]

@@ -41,6 +41,7 @@ class NodeConfig:
     unroll_depth: int = 0
     vectorize: bool = True
     use_shared: bool = True       # GPU shared-memory caching of inputs
+    tensorize: str = ""           # intrinsic name from repro.analysis.INTRINSICS
     # FPGA-specific parameters (ignored by other targets):
     fpga_partition: int = 1       # memory partition factor (bandwidth multiplier)
     fpga_pipeline: int = 3        # pipeline stages (read / compute / write)

@@ -25,8 +25,12 @@ BLOCK_X = "blockIdx.x"         # GPU grid
 THREAD_X = "threadIdx.x"       # GPU threads in a block
 VTHREAD = "vthread"            # GPU serial-in-thread outer tile
 PE_PARALLEL = "pe"             # FPGA processing elements
+TENSORIZE = "tensorize"        # loops replaced by one intrinsic call
 
-ANNOTATIONS = (SERIAL, PARALLEL, VECTORIZE, UNROLL, BLOCK_X, THREAD_X, VTHREAD, PE_PARALLEL)
+ANNOTATIONS = (
+    SERIAL, PARALLEL, VECTORIZE, UNROLL, BLOCK_X, THREAD_X, VTHREAD,
+    PE_PARALLEL, TENSORIZE,
+)
 
 
 @dataclass

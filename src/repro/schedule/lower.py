@@ -42,6 +42,7 @@ from .loopnest import (
     PE_PARALLEL,
     SERIAL,
     Scheduled,
+    TENSORIZE,
     THREAD_X,
     UNROLL,
     VECTORIZE,
@@ -365,8 +366,14 @@ def _annotate(
     ]
     primitives = list(structure.primitives)
     cached: Tuple = ()
+    tensorized = _apply_tensorize(op, loops, config, target, primitives)
     if target == "gpu":
-        if config.vectorize and structure.has_inner and loops[-1].role[0] == "spatial":
+        if (
+            not tensorized
+            and config.vectorize
+            and structure.has_inner
+            and loops[-1].role[0] == "spatial"
+        ):
             loops[-1].annotation = VECTORIZE
             primitives.append(f"vectorize {loops[-1].var.name}")
         _mark_unroll(loops, config.unroll_depth)
@@ -376,7 +383,7 @@ def _annotate(
         for tensor in cached:
             primitives.append(f"cache {tensor.name} in shared memory")
     elif target == "cpu":
-        if config.vectorize and len(loops) > 1:
+        if not tensorized and config.vectorize and len(loops) > 1:
             loops[-1].annotation = VECTORIZE
             primitives.append(f"vectorize {loops[-1].var.name}")
         _mark_unroll(loops, config.unroll_depth)
@@ -397,6 +404,44 @@ def _annotate(
         primitives=primitives,
         config=config,
     )
+
+
+def _apply_tensorize(
+    op: ComputeOp,
+    loops: List[LoopDef],
+    config: NodeConfig,
+    target: str,
+    primitives: List[str],
+) -> bool:
+    """Apply the ``tensorize`` knob: mark the intrinsic's covered loops.
+
+    Legality comes from :func:`repro.analysis.match.tensorize_rejections`
+    — the same oracle the TEN lint rules report — so a lint error is a
+    proof this raises, and vice versa.  The covered loops stay in the nest
+    (the interpreter executes them as one batched intrinsic call with an
+    ordered accumulate, so numerics are bit-identical to the scalar nest)
+    but are annotated ``TENSORIZE``: vectorize is subsumed and the models
+    bill the compute term at the intrinsic's accelerator rate.  Purely an
+    annotation, so the structural memo key is untouched.
+    """
+    if not getattr(config, "tensorize", ""):
+        return False
+    from ..analysis.match import covered_inner_roles, tensorize_rejections
+
+    rejections = tensorize_rejections(op, config, target)
+    if rejections:
+        raise LoweringError(
+            "illegal tensorize: "
+            + "; ".join(f"{rule}: {message}" for rule, message, _hint in rejections)
+        )
+    covered = set(covered_inner_roles(op, config.tensorize, target))
+    marked = []
+    for loop in loops:
+        if loop.role in covered:
+            loop.annotation = TENSORIZE
+            marked.append(loop.var.name)
+    primitives.append(f"tensorize {config.tensorize} over " + ", ".join(marked))
+    return True
 
 
 def _check_parts(config: NodeConfig, op: ComputeOp, spatial: int, reduce_: int) -> None:

@@ -274,6 +274,7 @@ class ScheduleSpace:
             unroll_depth=values.get("unroll", 0),
             vectorize=values.get("vectorize", True),
             use_shared=values.get("shared", True),
+            tensorize=values.get("tensorize", ""),
             fpga_partition=values.get("partition", 1),
             fpga_pipeline=values.get("pipeline", 3),
             fpga_buffer_lines=values.get("buffer", 1),
@@ -294,6 +295,7 @@ class ScheduleSpace:
                     "unroll": config.unroll_depth,
                     "vectorize": config.vectorize,
                     "shared": config.use_shared,
+                    "tensorize": config.tensorize,
                     "partition": config.fpga_partition,
                     "pipeline": config.fpga_pipeline,
                     "buffer": config.fpga_buffer_lines,
@@ -308,7 +310,7 @@ class ScheduleSpace:
         )
 
 
-def build_space(output, target: str, spec=None) -> ScheduleSpace:
+def build_space(output, target: str, spec=None, tensorize: bool = False) -> ScheduleSpace:
     """Generate the pruned schedule space for the main node of ``output``.
 
     With a device ``spec``, split-knob choices that are *unconditionally*
@@ -319,16 +321,32 @@ def build_space(output, target: str, spec=None) -> ScheduleSpace:
     (``repro.analysis.lint``) would reject regardless of the other knobs.
     Joint violations — several axes legal alone but illegal multiplied
     together — stay in the space and are caught by the per-point linter.
+
+    With ``tensorize=True`` (ISSUE #8, default off so existing
+    trajectories are untouched), a ``tensorize`` choice knob is added when
+    the static matcher (:func:`repro.analysis.matching_intrinsics`) finds
+    intrinsics whose pattern the op instantiates; choice ``""`` keeps the
+    untensorized schedules in the space.
     """
     graph = output if isinstance(output, MiniGraph) else get_graph(output)
     op = graph.main_op
     if target == "gpu":
-        return _gpu_space(op, spec)
+        return _gpu_space(op, spec, tensorize=tensorize)
     if target == "cpu":
-        return _cpu_space(op)
+        return _cpu_space(op, tensorize=tensorize)
     if target == "fpga":
         return _fpga_space(op, spec)
     raise ValueError(f"unknown target {target!r}")
+
+
+def _tensorize_knob(op: ComputeOp, target: str) -> Optional[ChoiceKnob]:
+    """The tensorize choice knob, or None when no intrinsic matches."""
+    from ..analysis import matching_intrinsics
+
+    matched = matching_intrinsics(op, target)
+    if not matched:
+        return None
+    return ChoiceKnob("tensorize", [""] + list(matched))
 
 
 def _pruned_split(name: str, extent: int, parts: int, keep) -> SplitKnob:
@@ -340,7 +358,7 @@ def _pruned_split(name: str, extent: int, parts: int, keep) -> SplitKnob:
     return SplitKnob(name, extent, parts, allowed=allowed)
 
 
-def _gpu_space(op: ComputeOp, spec=None) -> ScheduleSpace:
+def _gpu_space(op: ComputeOp, spec=None, tensorize: bool = False) -> ScheduleSpace:
     knobs: List[Knob] = []
     thread_cap = getattr(spec, "max_threads_per_block", None)
     for i, axis in enumerate(op.axes):
@@ -357,10 +375,14 @@ def _gpu_space(op: ComputeOp, spec=None) -> ScheduleSpace:
     knobs.append(ChoiceKnob("unroll", list(UNROLL_CHOICES)))
     knobs.append(ChoiceKnob("vectorize", [False, True]))
     knobs.append(ChoiceKnob("shared", [False, True]))
+    if tensorize:
+        knob = _tensorize_knob(op, "gpu")
+        if knob is not None:
+            knobs.append(knob)
     return ScheduleSpace(op, "gpu", knobs)
 
 
-def _cpu_space(op: ComputeOp) -> ScheduleSpace:
+def _cpu_space(op: ComputeOp, tensorize: bool = False) -> ScheduleSpace:
     knobs: List[Knob] = []
     for i, axis in enumerate(op.axes):
         knobs.append(SplitKnob(f"sp{i}", axis.extent, CPU_SPATIAL_PARTS))
@@ -370,6 +392,10 @@ def _cpu_space(op: ComputeOp) -> ScheduleSpace:
     knobs.append(ChoiceKnob("unroll", list(UNROLL_CHOICES)))
     knobs.append(ChoiceKnob("vectorize", [False, True]))
     knobs.append(ChoiceKnob("fuse", list(range(1, len(op.axes) + 1))))
+    if tensorize:
+        knob = _tensorize_knob(op, "cpu")
+        if knob is not None:
+            knobs.append(knob)
     return ScheduleSpace(op, "cpu", knobs)
 
 
@@ -512,6 +538,7 @@ def _default_choice(knob: ChoiceKnob) -> int:
         "unroll": 0,
         "vectorize": True,
         "shared": True,
+        "tensorize": "",
         "fuse": max(v for v in knob.choices if isinstance(v, int)) if knob.name == "fuse" else None,
         "partition": 4,
         "pipeline": 3,

@@ -39,7 +39,7 @@ def model_rejects(output, config, target, model):
 class TestRuleRegistry:
     def test_rules_have_stable_shape(self):
         for rule, (name, severity, _description) in RULES.items():
-            assert rule[:3] in ("GEN", "GPU", "CPU", "FPG")
+            assert rule[:3] in ("GEN", "GPU", "CPU", "FPG", "TEN")
             assert severity in ("error", "warn")
             assert name  # short kebab name present
 
