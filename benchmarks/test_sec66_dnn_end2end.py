@@ -4,28 +4,55 @@ Expected shape: after partitioning the networks into sub-graphs, fusing
 the elementwise epilogues and optimizing every distinct layer, FlexTensor
 is modestly faster than AutoTVM end to end (paper: 1.07x on YOLO-v1,
 1.39x on OverFeat).
+
+The FlexTensor arm runs through the network-level task scheduler
+(``repro.nn.tuner``): layers deduped by operator signature, trial
+slices allocated by observed end-to-end gain, plateaued tasks stopped
+early, the saved budget reinvested as multi-start restarts.  The
+uniform arm (``tune_network(allocate=False)``) spends an identical
+per-layer budget with the same measurement accounting, so the
+scheduler's claim — equal-or-better latency at materially fewer real
+measurements — is asserted here alongside the paper shape.
 """
 
 from conftest import once, print_table, save_results
 
 from repro.model import V100
-from repro.nn import optimize_network, overfeat, yolo_v1
+from repro.nn import optimize_network, tune_network, overfeat, yolo_v1
 
 TRIALS = 50
+SCHEDULER = dict(
+    budget_frac=0.60,
+    slice_trials=4,
+    topup_frac=0.4,
+    max_restarts=1,
+    restart_trials=12,
+)
 
 
 def run_sec66():
     results = {}
     for network in (yolo_v1(), overfeat()):
-        flex = optimize_network(network, V100, trials=TRIALS, method="q", seed=0,
-                                num_seeds=8, num_starting_points=6)
+        uniform = tune_network(
+            network, V100, trials=TRIALS, method="q", seed=0, allocate=False,
+        )
+        allocated = tune_network(
+            network, V100, trials=TRIALS, method="q", seed=0, **SCHEDULER,
+        )
         autotvm = optimize_network(network, V100, trials=20, method="autotvm", seed=0)
         results[network.name] = {
             "layers": network.num_layers,
-            "flex_ms": flex.total_seconds * 1e3,
+            "tasks": len(allocated.tasks),
+            "flex_ms": allocated.total_seconds * 1e3,
+            "uniform_ms": uniform.total_seconds * 1e3,
             "autotvm_ms": autotvm.total_seconds * 1e3,
-            "speedup": autotvm.total_seconds / flex.total_seconds,
-            "flex_gflops": flex.gflops,
+            "speedup": autotvm.total_seconds / allocated.total_seconds,
+            "flex_gflops": allocated.gflops,
+            "flex_measurements": allocated.total_measurements,
+            "uniform_measurements": uniform.total_measurements,
+            "measurement_savings": (
+                1.0 - allocated.total_measurements / uniform.total_measurements
+            ),
         }
     return results
 
@@ -34,10 +61,12 @@ def test_sec66(benchmark):
     results = once(benchmark, run_sec66)
     print_table(
         "§6.6 — end-to-end inference time (batch 1, V100, simulated)",
-        ["network", "layers", "FlexTensor (ms)", "AutoTVM (ms)", "speedup"],
+        ["network", "layers", "FlexTensor (ms)", "uniform (ms)", "AutoTVM (ms)",
+         "speedup", "meas. saved"],
         [
-            [name, r["layers"], f"{r['flex_ms']:.2f}", f"{r['autotvm_ms']:.2f}",
-             f"{r['speedup']:.2f}"]
+            [name, r["layers"], f"{r['flex_ms']:.2f}", f"{r['uniform_ms']:.2f}",
+             f"{r['autotvm_ms']:.2f}", f"{r['speedup']:.2f}",
+             f"{r['measurement_savings']:.0%}"]
             for name, r in results.items()
         ],
     )
@@ -54,3 +83,9 @@ def test_sec66(benchmark):
     assert yolo["speedup"] < 2.5
     assert over["speedup"] < 2.5
     assert yolo["layers"] == 24 and over["layers"] == 5
+    # The scheduler's acceptance claim (ISSUE #9): equal-or-better
+    # end-to-end latency than uniform allocation at fewer real
+    # measurements on both networks.
+    for r in (yolo, over):
+        assert r["flex_ms"] <= r["uniform_ms"] * (1 + 1e-9), r
+        assert r["flex_measurements"] < r["uniform_measurements"], r

@@ -25,6 +25,8 @@ Examples::
     python -m repro status --store /tmp/svc
     python -m repro lookup --store /tmp/svc --op gemm --n 256 --enqueue
     python -m repro selfcheck --serve
+    python -m repro tune-network --network yolo-v1 --store /tmp/svc --trials 25
+    python -m repro tune-network --network overfeat --uniform
 
 Exit codes: 0 on success; nonzero on any failure (no schedule found, a
 selfcheck verdict of FAILED, a rejected submission, a lookup miss, a
@@ -53,7 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("operator",
                         choices=["conv2d", "gemm", "gemv", "lint", "selfcheck",
-                                 "serve", "submit", "status", "lookup"])
+                                 "serve", "submit", "status", "lookup",
+                                 "tune-network"])
     parser.add_argument("--device", default="V100", choices=sorted(DEVICES))
     parser.add_argument("--trials", type=int, default=40)
     parser.add_argument("--seed", type=int, default=0)
@@ -122,9 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "2=background)")
     parser.add_argument("--ttl", type=float, default=None,
                         help="submit: job TTL in simulated seconds")
-    parser.add_argument("--slice-trials", type=int, default=2,
-                        help="serve: trials per scheduling slice "
-                             "(preemption grain)")
+    parser.add_argument("--slice-trials", type=int, default=None,
+                        help="serve/tune-network: trials per scheduling "
+                             "slice (preemption grain; default: serve 2, "
+                             "tune-network the scheduler's own default)")
     parser.add_argument("--max-slices", type=int, default=None,
                         help="serve: stop after this many slices (default: "
                              "run until idle)")
@@ -134,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="serve: crashes before a job is quarantined")
     parser.add_argument("--enqueue", action="store_true",
                         help="lookup: enqueue a tuning job on a miss")
+    parser.add_argument("--network", default="yolo-v1",
+                        choices=["yolo-v1", "overfeat"],
+                        help="tune-network: which §6.6 network to tune")
+    parser.add_argument("--uniform", action="store_true",
+                        help="tune-network: flat identical per-layer budgets "
+                             "instead of the gain-driven task scheduler")
     parser.add_argument("--sample", type=int, default=400,
                         help="lint only: random points sampled per schedule "
                              "space")
@@ -523,7 +533,7 @@ def _serve_service(args, require_store: bool = False):
         print(f"no service store at {args.store}")
         return None
     config = ServeConfig(
-        slice_trials=args.slice_trials,
+        slice_trials=2 if args.slice_trials is None else args.slice_trials,
         workers=max(1, args.workers),
         max_queue=args.max_queue,
         max_crashes=args.max_crashes,
@@ -598,6 +608,41 @@ def lookup_command(args) -> int:
     print(f"miss: {args.op}{params}@{args.device}"
           + (" (tuning job enqueued)" if args.enqueue else ""))
     return 1
+
+
+def tune_network_command(args) -> int:
+    """Tune a whole §6.6 network through the task scheduler.
+
+    Records and the evaluation cache land in the ``--store`` directory
+    using the serve layout, so ``python -m repro lookup`` (and the serve
+    read path) answer queries about network layers tuned here.
+    """
+    from pathlib import Path
+
+    from .nn import overfeat, tune_network, yolo_v1
+    from .serve.service import EVALCACHE_DIRNAME, RECORDS_FILENAME
+
+    network = {"yolo-v1": yolo_v1, "overfeat": overfeat}[args.network](args.batch)
+    device = DEVICES[args.device]
+    store = Path(args.store)
+    store.mkdir(parents=True, exist_ok=True)
+    result = tune_network(
+        network, device, trials=args.trials, method=args.method, seed=args.seed,
+        allocate=not args.uniform,
+        records=store / RECORDS_FILENAME,
+        eval_cache=store / EVALCACHE_DIRNAME,
+        checkpoint_dir=store / "network-checkpoints" / args.network,
+        resume=args.resume,
+        **(
+            {"slice_trials": args.slice_trials}
+            if not args.uniform and args.slice_trials is not None else {}
+        ),
+    )
+    print(result.summary())
+    if not result.found:
+        print("\nno valid schedule found for at least one task")
+        return 1
+    return 0
 
 
 def serve_smoke(args) -> int:
@@ -753,6 +798,8 @@ def main(argv=None) -> int:
         return status_command(args)
     if args.operator == "lookup":
         return lookup_command(args)
+    if args.operator == "tune-network":
+        return tune_network_command(args)
     if args.operator == "selfcheck":
         if args.lint:
             return lint_smoke(args)

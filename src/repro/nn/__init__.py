@@ -1,4 +1,5 @@
-"""DNN case study: networks, partitioning, fusion (§6.6)."""
+"""DNN case study: networks, partitioning, fusion, and the network-level
+task scheduler (§6.6)."""
 
 from .network import (
     LayerResult,
@@ -11,8 +12,18 @@ from .network import (
     partition_network,
     yolo_v1,
 )
+from .tuner import (
+    NetworkChaos,
+    NetworkKilled,
+    NetworkTaskScheduler,
+    NetworkTuneResult,
+    TuneTask,
+    tune_network,
+)
 
 __all__ = [
-    "LayerResult", "LayerSpec", "Network", "NetworkResult", "SubGraph",
-    "optimize_network", "overfeat", "partition_network", "yolo_v1",
+    "LayerResult", "LayerSpec", "Network", "NetworkChaos", "NetworkKilled",
+    "NetworkResult", "NetworkTaskScheduler", "NetworkTuneResult", "SubGraph",
+    "TuneTask", "optimize_network", "overfeat", "partition_network",
+    "tune_network", "yolo_v1",
 ]

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..ops.workloads import Workload, overfeat_layers, yolo_v1_layers
 
 
@@ -127,7 +129,10 @@ def _epilogue_seconds(workload: Workload, device_spec, fused: bool) -> float:
     if fused:
         return 0.0
     out = workload.build()
-    bytes_moved = out.size * 4 * 2
+    # Element size follows the output dtype — an int8 workload moves a
+    # quarter of the bytes a float32 one does.
+    element_bytes = np.dtype(out.dtype).itemsize
+    bytes_moved = out.size * element_bytes * 2
     bandwidth = getattr(device_spec, "bandwidth_gbs", None)
     if bandwidth is None:
         bandwidth = getattr(device_spec, "ddr_bandwidth_gbs")
@@ -142,15 +147,39 @@ def optimize_network(
     method: str = "q",
     fuse: bool = True,
     seed: int = 0,
+    scheduler: str = "uniform",
     **tuner_kwargs,
 ) -> NetworkResult:
     """Optimize every distinct layer and assemble end-to-end time.
 
     ``method`` accepts the :func:`repro.optimize.optimize` methods plus
     ``"autotvm"`` for the template baseline.
+
+    ``scheduler`` selects the trial allocation policy:
+
+    - ``"uniform"`` (default): every distinct layer is tuned
+      independently with an identical ``trials`` budget — the historical
+      behavior.
+    - ``"allocated"``: the network-level task scheduler
+      (:func:`repro.nn.tuner.tune_network`) — layers deduped by operator
+      signature, trial slices steered toward the tasks with the highest
+      predicted end-to-end gain within the same global budget.  Not
+      available for ``method="autotvm"``.
     """
     from ..baselines import autotvm_optimize
     from ..optimize import optimize
+
+    if scheduler not in ("uniform", "allocated"):
+        raise ValueError(f"unknown scheduler {scheduler!r}")
+    if scheduler == "allocated":
+        if method == "autotvm":
+            raise ValueError("scheduler='allocated' requires an optimize() method")
+        from .tuner import tune_network
+
+        return tune_network(
+            network, device_spec, trials=trials, method=method, fuse=fuse,
+            seed=seed, **tuner_kwargs,
+        ).to_network_result()
 
     groups = partition_network(network, fuse=fuse)
     result = NetworkResult(network.name, device_spec.name, method)

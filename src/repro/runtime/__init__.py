@@ -26,10 +26,11 @@ from .measure import (
     MeasureRecord,
     MeasureResult,
     MeasureStatus,
+    op_signature_of,
 )
 from .parallel import BatchEngine
 from .profile import HotPathProfiler
-from .records import RecordBook, TuningRecord, workload_key
+from .records import RecordBook, TuningRecord, parse_workload_key, workload_key
 
 __all__ = [
     "BatchEngine",
@@ -57,6 +58,8 @@ __all__ = [
     "TuningRecord",
     "WorkerState",
     "load_checkpoint",
+    "op_signature_of",
+    "parse_workload_key",
     "save_checkpoint",
     "workload_key",
 ]

@@ -46,6 +46,46 @@ from .fault import (
 DEFAULT_CHARGE_CAP = 1.0
 
 
+def op_signature_of(
+    graph,
+    device_spec,
+    measure_config: Optional["MeasureConfig"] = None,
+    graph_config: Optional[GraphConfig] = None,
+    fault_injector: Optional[FaultInjector] = None,
+) -> str:
+    """Stable identity of (operator, shapes, device, run settings).
+
+    The one signature definition shared by :meth:`Evaluator.op_signature`
+    and callers that need an operator's identity *without* paying for an
+    evaluator (e.g. the network task scheduler deduping layers before any
+    schedule space is built).  Folds in everything that changes a
+    measured value: the compute definition (the pseudo-code hash covers
+    shapes and expressions), the target and device, graph inline
+    decisions, the timeout policy, and the fault-injector configuration
+    when one is active.
+    """
+    graph = graph if isinstance(graph, MiniGraph) else get_graph(graph)
+    measure_config = measure_config or MeasureConfig()
+    graph_config = graph_config or GraphConfig()
+    op = graph.main_op
+    digest = hashlib.md5(format_operation(op).encode()).hexdigest()[:16]
+    device = getattr(device_spec, "name", str(device_spec))
+    parts = [
+        f"op={op.name}",
+        f"shape={tuple(op.output.shape)}",
+        f"ir={digest}",
+        f"target={target_of(device_spec)}",
+        f"device={device}",
+        f"timeout={measure_config.timeout_seconds}",
+    ]
+    inline = sorted(graph_config.inline.items())
+    if inline:
+        parts.append(f"inline={inline}")
+    if fault_injector is not None:
+        parts.append(f"faults={fault_injector.describe()}")
+    return "|".join(parts)
+
+
 class MeasureStatus(enum.Enum):
     """Classification of one finished measurement."""
 
@@ -341,23 +381,12 @@ class Evaluator:
         target and device, graph inline decisions, the timeout policy,
         and the fault-injector configuration when one is active."""
         if self._op_signature is None:
-            op = self.graph.main_op
-            digest = hashlib.md5(format_operation(op).encode()).hexdigest()[:16]
-            device = getattr(self.device_spec, "name", str(self.device_spec))
-            parts = [
-                f"op={op.name}",
-                f"shape={tuple(op.output.shape)}",
-                f"ir={digest}",
-                f"target={self.target}",
-                f"device={device}",
-                f"timeout={self.measure_config.timeout_seconds}",
-            ]
-            inline = sorted(self.graph_config.inline.items())
-            if inline:
-                parts.append(f"inline={inline}")
-            if self.fault_injector is not None:
-                parts.append(f"faults={self.fault_injector.describe()}")
-            self._op_signature = "|".join(parts)
+            self._op_signature = op_signature_of(
+                self.graph, self.device_spec,
+                measure_config=self.measure_config,
+                graph_config=self.graph_config,
+                fault_injector=self.fault_injector,
+            )
         return self._op_signature
 
     def _retry_loop(self, next_attempt, on_retry=None):
